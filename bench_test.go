@@ -1,0 +1,148 @@
+// Benchmark harness: one benchmark per experiment table of DESIGN.md §3
+// (the tables EXPERIMENTS.md records), plus micro-benchmarks of the core
+// operations. The experiment benchmarks print their table on the first
+// iteration; run with
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// to regenerate every table exactly once.
+package streambalance_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"streambalance"
+	"streambalance/internal/experiments"
+	"streambalance/internal/metrics"
+	"streambalance/internal/workload"
+)
+
+var printOnce sync.Map
+
+func benchTable(b *testing.B, id string, run func(experiments.Cfg) *metrics.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb := run(experiments.Cfg{Seed: 1})
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Println()
+			tb.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkE1CoresetQuality(b *testing.B)  { benchTable(b, "E1", experiments.E1CoresetQuality) }
+func BenchmarkE2CoresetSize(b *testing.B)     { benchTable(b, "E2", experiments.E2CoresetSize) }
+func BenchmarkE3StreamingSpace(b *testing.B)  { benchTable(b, "E3", experiments.E3StreamingSpace) }
+func BenchmarkE4Deletions(b *testing.B)       { benchTable(b, "E4", experiments.E4Deletions) }
+func BenchmarkE5Distributed(b *testing.B)     { benchTable(b, "E5", experiments.E5Distributed) }
+func BenchmarkE6EndToEnd(b *testing.B)        { benchTable(b, "E6", experiments.E6EndToEnd) }
+func BenchmarkE7Baselines(b *testing.B)       { benchTable(b, "E7", experiments.E7Baselines) }
+func BenchmarkE8BuildTime(b *testing.B)       { benchTable(b, "E8", experiments.E8BuildTime) }
+func BenchmarkE9Separation(b *testing.B)      { benchTable(b, "E9", experiments.E9Separation) }
+func BenchmarkE10Ablation(b *testing.B)       { benchTable(b, "E10", experiments.E10Ablation) }
+func BenchmarkE11HighDim(b *testing.B)        { benchTable(b, "E11", experiments.E11HighDim) }
+func BenchmarkE12GuessSelection(b *testing.B) { benchTable(b, "E12", experiments.E12GuessSelection) }
+func BenchmarkE13AssignmentCounting(b *testing.B) {
+	benchTable(b, "E13", experiments.E13AssignmentCounting)
+}
+
+// ---- micro-benchmarks of the core operations ----
+
+func benchPoints(n int) []streambalance.Point {
+	rng := rand.New(rand.NewSource(42))
+	m := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: 4, Spread: 20, Skew: 2, NoiseFrac: 0.05}
+	ps, _ := m.Generate(rng)
+	return ps
+}
+
+// BenchmarkCoresetBuild measures the offline construction (Theorem 3.19:
+// near-linear time) end to end on 32k points.
+func BenchmarkCoresetBuild(b *testing.B) {
+	ps := benchPoints(32000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := streambalance.BuildCoreset(ps, streambalance.Params{K: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ps)), "points/op")
+}
+
+// BenchmarkStreamInsert measures the per-update cost of the dynamic
+// streaming sketch (3(L+1) λ-wise hash evaluations + sketch updates).
+func BenchmarkStreamInsert(b *testing.B) {
+	ps := benchPoints(4096)
+	s, err := streambalance.NewStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12, O: 1 << 20,
+		Params: streambalance.Params{K: 4, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(ps[i%len(ps)])
+	}
+}
+
+// BenchmarkStreamResult measures end-of-stream decoding.
+func BenchmarkStreamResult(b *testing.B) {
+	ps := benchPoints(8000)
+	est, _ := streambalance.EstimateOPT(ps, 4, 2, 1)
+	s, err := streambalance.NewStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12, O: streambalance.GuessFromEstimate(est),
+		Params: streambalance.Params{K: 4, Seed: 1},
+		// At a couple of levels every survivor is sampled (φ_i = 1); the
+		// point sketches must hold all 8000.
+		CellSparsity: 4096, PointSparsity: 16384,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range ps {
+		s.Insert(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCapacitatedAssign measures the min-cost-flow assignment oracle
+// (500 points × 4 centers).
+func BenchmarkCapacitatedAssign(b *testing.B) {
+	ps := benchPoints(500)
+	ws := make([]streambalance.Weighted, len(ps))
+	for i, p := range ps {
+		ws[i] = streambalance.Weighted{P: p, W: 1}
+	}
+	centers := []streambalance.Point{{512, 512}, {3500, 3500}, {512, 3500}, {3500, 512}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := streambalance.AssignCapacitated(ws, centers, 140, 2); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkSolveCapacitated measures the full solver on a coreset-sized
+// input.
+func BenchmarkSolveCapacitated(b *testing.B) {
+	ps := benchPoints(400)
+	ws := make([]streambalance.Weighted, len(ps))
+	for i, p := range ps {
+		ws[i] = streambalance.Weighted{P: p, W: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := streambalance.SolveCapacitated(ws, 4, 130, streambalance.SolveOptions{Seed: int64(i), Iters: 4, Restarts: 1}); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command bcbench runs the experiment suite of DESIGN.md §3 and prints
+// one table per experiment — the rows EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	bcbench [-scale 1.0] [-seed 1] [-only E1,E5]
+//
+// -scale multiplies every instance size (use 2–4 for slower, tighter
+// runs); -only restricts to a comma-separated subset of experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streambalance/internal/experiments"
+	"streambalance/internal/metrics"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "instance size multiplier")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	flag.Parse()
+
+	cfg := experiments.Cfg{Seed: *seed, Scale: *scale}
+	runners := map[string]func(experiments.Cfg) *metrics.Table{
+		"E1":  experiments.E1CoresetQuality,
+		"E2":  experiments.E2CoresetSize,
+		"E3":  experiments.E3StreamingSpace,
+		"E4":  experiments.E4Deletions,
+		"E5":  experiments.E5Distributed,
+		"E6":  experiments.E6EndToEnd,
+		"E7":  experiments.E7Baselines,
+		"E8":  experiments.E8BuildTime,
+		"E9":  experiments.E9Separation,
+		"E10": experiments.E10Ablation,
+		"E11": experiments.E11HighDim,
+		"E12": experiments.E12GuessSelection,
+		"E13": experiments.E13AssignmentCounting,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+
+	var ids []string
+	if *only == "" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if runners[id] == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", id, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	fmt.Printf("streambalance experiment suite  (scale=%.2g seed=%d)\n\n", *scale, *seed)
+	for _, id := range ids {
+		t0 := time.Now()
+		tb := runners[id](cfg)
+		tb.Render(os.Stdout)
+		fmt.Printf("   [%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

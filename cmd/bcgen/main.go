@@ -1,0 +1,85 @@
+// Command bcgen generates synthetic workloads as dynamic-stream files for
+// cmd/bcstream: one update per line, "+ x,y,..." for an insertion and
+// "- x,y,..." for a deletion.
+//
+// Patterns:
+//
+//	insert  — insertions only (a static point set)
+//	churn   — the mixture interleaved with uniform junk that is later deleted
+//	retract — the mixture plus a ghost cluster that appears and then vanishes
+//
+// Usage:
+//
+//	bcgen -n 10000 -k 4 -pattern churn > stream.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/streamfmt"
+	"streambalance/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "number of surviving points")
+	d := flag.Int("d", 2, "dimension")
+	delta := flag.Int64("delta", 1<<12, "coordinate range [1,delta]")
+	k := flag.Int("k", 4, "mixture components")
+	spread := flag.Float64("spread", 0, "component stddev (0 = delta/270)")
+	skew := flag.Float64("skew", 2, "component size skew (1 = balanced)")
+	noise := flag.Float64("noise", 0.05, "uniform noise fraction")
+	pattern := flag.String("pattern", "insert", "insert | churn | retract")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *spread == 0 {
+		*spread = float64(*delta) / 270
+		if *spread < 3 {
+			*spread = 3
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	m := workload.Mixture{N: *n, D: *d, Delta: *delta, K: *k, Spread: *spread, Skew: *skew, NoiseFrac: *noise}
+	base, _ := m.Generate(rng)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	emit := func(op byte, p geo.Point) {
+		fmt.Fprintln(w, streamfmt.FormatUpdate(streamfmt.Update{P: p, Delete: op == '-'}))
+	}
+
+	switch *pattern {
+	case "insert":
+		for _, p := range base {
+			emit('+', p)
+		}
+	case "churn":
+		junk := workload.UniformBox(rng, *n, *d, *delta)
+		for i := range base {
+			emit('+', base[i])
+			emit('+', junk[i])
+		}
+		for _, i := range rng.Perm(len(junk)) {
+			emit('-', junk[i])
+		}
+	case "retract":
+		ghost := workload.UniformBox(rng, *n/2, *d, *delta)
+		for _, p := range base {
+			emit('+', p)
+		}
+		for _, p := range ghost {
+			emit('+', p)
+		}
+		for _, p := range ghost {
+			emit('-', p)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+}

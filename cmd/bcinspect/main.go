@@ -1,0 +1,90 @@
+// Command bcinspect materializes the survivors of a dynamic stream file
+// (cmd/bcgen format), builds a coreset offline, and prints the per-level
+// construction diagnostics — the view to consult when tuning sketch
+// budgets or sampling rates (which levels hold the mass, where φ
+// saturates at 1, which parts were excluded).
+//
+// Usage:
+//
+//	bcgen -n 50000 -pattern churn | bcinspect -k 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streambalance"
+	"streambalance/internal/streamfmt"
+)
+
+func main() {
+	k := flag.Int("k", 4, "number of clusters")
+	dim := flag.Int("d", 2, "dimension")
+	r := flag.Float64("r", 2, "lr exponent")
+	spp := flag.Float64("spp", 0, "SamplesPerPart override (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	in := flag.String("in", "-", "input stream file (- = stdin)")
+	flag.Parse()
+
+	var src *os.File
+	if *in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	// Materialize survivors (bcinspect is an offline diagnostic; the
+	// streaming path never stores the points).
+	counts := map[string]int{}
+	order := map[string]streambalance.Point{}
+	err := streamfmt.ReadUpdates(src, *dim, func(u streamfmt.Update) error {
+		key := u.P.String()
+		if u.Delete {
+			counts[key]--
+		} else {
+			counts[key]++
+			order[key] = u.P
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var survivors []streambalance.Point
+	for key, c := range counts {
+		if c < 0 {
+			fatal(fmt.Errorf("stream deletes %s more often than it inserts it", key))
+		}
+		for i := 0; i < c; i++ {
+			survivors = append(survivors, order[key])
+		}
+	}
+	if len(survivors) == 0 {
+		fatal(fmt.Errorf("no surviving points"))
+	}
+
+	cs, err := streambalance.BuildCoreset(survivors, streambalance.Params{
+		K: *k, R: *r, Seed: *seed, SamplesPerPart: *spp,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	diag, err := cs.Diagnostics()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("survivors: %d   coreset: %d points, total weight %.1f\n\n",
+		len(survivors), cs.Size(), cs.TotalWeight())
+	fmt.Print(diag.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcinspect:", err)
+	os.Exit(1)
+}

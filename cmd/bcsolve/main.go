@@ -1,0 +1,85 @@
+// Command bcsolve solves capacitated k-clustering on a weighted coreset
+// read from stdin or a file (the format cmd/bcstream emits: "w x,y,..."
+// per line) and prints the centers with their assigned weights.
+//
+// Usage:
+//
+//	bcgen -n 100000 | bcstream -k 4 | bcsolve -k 4 -t 27500
+//
+// -t is the per-center capacity on the ORIGINAL point scale (the coreset
+// weights sum to ≈ n, so capacities transfer directly); 0 means
+// 1.1 × (total weight)/k. The solver grants itself the (1+η) slack the
+// coreset guarantee allows (default η = 0.25, flag -eta).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streambalance"
+	"streambalance/internal/streamfmt"
+)
+
+func main() {
+	k := flag.Int("k", 4, "number of clusters")
+	t := flag.Float64("t", 0, "per-center capacity (0 = 1.1·W/k)")
+	eta := flag.Float64("eta", 0.25, "capacity slack granted to the coreset side")
+	r := flag.Float64("r", 2, "lr exponent (1 = k-median, 2 = k-means)")
+	seed := flag.Int64("seed", 1, "random seed")
+	in := flag.String("in", "-", "coreset file (- = stdin)")
+	flag.Parse()
+
+	var src *os.File
+	if *in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	ws, err := streamfmt.ReadWeighted(src, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ws) == 0 {
+		fatal(fmt.Errorf("no coreset points read"))
+	}
+
+	var total float64
+	for _, w := range ws {
+		total += w.W
+	}
+	if *t == 0 {
+		*t = 1.1 * total / float64(*k)
+	}
+
+	sol, ok := streambalance.SolveCapacitated(ws, *k, *t*(1+*eta),
+		streambalance.SolveOptions{R: *r, Seed: *seed})
+	if !ok {
+		fatal(fmt.Errorf("infeasible: k·t(1+η) = %.0f < total weight %.0f", float64(*k)**t*(1+*eta), total))
+	}
+
+	fmt.Printf("# capacitated %d-clustering (r=%g) of %d coreset points, weight %.1f\n",
+		*k, *r, len(ws), total)
+	fmt.Printf("# capacity %.1f per center (×%.2f slack), solution cost %.6g\n", *t, 1+*eta, sol.Cost)
+	for j, z := range sol.Centers {
+		cells := make([]string, len(z))
+		for i, c := range z {
+			cells[i] = strconv.FormatInt(c, 10)
+		}
+		fmt.Printf("center %d  %s  weight %.1f (%.0f%% of capacity)\n",
+			j, strings.Join(cells, ","), sol.Sizes[j], 100*sol.Sizes[j]/(*t))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcsolve:", err)
+	os.Exit(1)
+}

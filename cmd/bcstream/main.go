@@ -1,0 +1,98 @@
+// Command bcstream maintains a capacitated-clustering coreset over a
+// dynamic stream read from stdin or a file (the format cmd/bcgen emits:
+// "+ x,y,..." inserts, "- x,y,..." deletes) and writes the weighted
+// coreset to stdout as "w x,y,..." lines, with a summary on stderr.
+//
+// By default the full guess enumeration of Theorem 4.5 runs (one sketch
+// ensemble per guess o); pass -guess to run a single-guess instance when
+// an estimate of the optimal clustering cost is known.
+//
+// Usage:
+//
+//	bcgen -n 10000 -pattern churn | bcstream -k 4 -delta 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streambalance"
+	"streambalance/internal/streamfmt"
+)
+
+func main() {
+	k := flag.Int("k", 4, "number of clusters")
+	dim := flag.Int("d", 2, "dimension")
+	delta := flag.Int64("delta", 1<<12, "coordinate range [1,delta]")
+	r := flag.Float64("r", 2, "lr exponent (1 = k-median, 2 = k-means)")
+	guess := flag.Float64("guess", 0, "fixed guess o of the optimal cost (0 = enumerate all guesses)")
+	seed := flag.Int64("seed", 1, "random seed")
+	in := flag.String("in", "-", "input stream file (- = stdin)")
+	flag.Parse()
+
+	var src *os.File
+	if *in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	params := streambalance.Params{K: *k, R: *r, Seed: *seed}
+	cfg := streambalance.StreamConfig{Dim: *dim, Delta: *delta, Params: params}
+
+	type sink interface {
+		Insert(streambalance.Point)
+		Delete(streambalance.Point)
+		Bytes() int64
+		Result() (*streambalance.Coreset, error)
+	}
+	var s sink
+	var err error
+	if *guess > 0 {
+		cfg.O = *guess
+		s, err = streambalance.NewStream(cfg)
+	} else {
+		cfg.CellSparsity = 512
+		cfg.PointSparsity = 2048
+		s, err = streambalance.NewAutoStream(cfg, 8)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var updates int64
+	err = streamfmt.ReadUpdates(src, *dim, func(u streamfmt.Update) error {
+		if u.Delete {
+			s.Delete(u.P)
+		} else {
+			s.Insert(u.P)
+		}
+		updates++
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cs, err := s.Result()
+	if err != nil {
+		fatal(err)
+	}
+	if err := streamfmt.WriteWeighted(os.Stdout, cs.Points); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"bcstream: %d updates, coreset %d points (total weight %.1f), sketch state %d bytes, accepted o=%.3g\n",
+		updates, cs.Size(), cs.TotalWeight(), s.Bytes(), cs.O)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bcstream:", err)
+	os.Exit(1)
+}

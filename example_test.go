@@ -1,0 +1,86 @@
+package streambalance_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance"
+	"streambalance/internal/workload"
+)
+
+// ExampleBuildCoreset builds a strong coreset offline and solves balanced
+// clustering on it.
+func ExampleBuildCoreset() {
+	rng := rand.New(rand.NewSource(1))
+	points, _ := workload.Mixture{N: 4000, D: 2, Delta: 1 << 10, K: 3, Spread: 8}.Generate(rng)
+
+	cs, err := streambalance.BuildCoreset(points, streambalance.Params{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("compresses:", cs.Size() < len(points))
+	fmt.Println("weight tracks n:", cs.TotalWeight() > 0.9*float64(len(points)) &&
+		cs.TotalWeight() < 1.1*float64(len(points)))
+
+	capacity := 1.2 * float64(len(points)) / 3
+	sol, ok := streambalance.SolveCapacitated(cs.Points, 3, capacity*1.3, streambalance.SolveOptions{Seed: 2})
+	fmt.Println("solved:", ok && len(sol.Centers) == 3)
+	// Output:
+	// compresses: true
+	// weight tracks n: true
+	// solved: true
+}
+
+// ExampleNewStream maintains a coreset over a dynamic stream with
+// deletions.
+func ExampleNewStream() {
+	rng := rand.New(rand.NewSource(2))
+	points, _ := workload.Mixture{N: 2000, D: 2, Delta: 1 << 10, K: 3, Spread: 8}.Generate(rng)
+
+	est, _ := streambalance.EstimateOPT(points, 3, 2, 3)
+	s, err := streambalance.NewStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 10,
+		O:      streambalance.GuessFromEstimate(est),
+		Params: streambalance.Params{K: 3, Seed: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range points {
+		s.Insert(p)
+	}
+	// Churn: insert then delete a transient point — it leaves no trace.
+	ghost := streambalance.Point{500, 500}
+	s.Insert(ghost)
+	s.Delete(ghost)
+
+	cs, err := s.Result()
+	fmt.Println("one pass ok:", err == nil)
+	fmt.Println("survivors:", s.N())
+	fmt.Println("coreset nonempty:", cs.Size() > 0)
+	// Output:
+	// one pass ok: true
+	// survivors: 2000
+	// coreset nonempty: true
+}
+
+// ExampleDistributedCoreset runs the coordinator protocol over sharded
+// data and reports the exact communication cost.
+func ExampleDistributedCoreset() {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := workload.Mixture{N: 3000, D: 2, Delta: 1 << 10, K: 3, Spread: 8}.Generate(rng)
+	shards := make([][]streambalance.Point, 4)
+	for i, p := range points {
+		shards[i%4] = append(shards[i%4], p)
+	}
+	rep, err := streambalance.DistributedCoreset(shards, streambalance.DistConfig{
+		Dim: 2, Delta: 1 << 10, Params: streambalance.Params{K: 3, Seed: 5},
+	})
+	fmt.Println("protocol ok:", err == nil)
+	fmt.Println("rounds:", rep.Rounds)
+	fmt.Println("communication metered:", rep.Bits > 0)
+	// Output:
+	// protocol ok: true
+	// rounds: 2
+	// communication metered: true
+}

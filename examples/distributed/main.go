@@ -1,0 +1,90 @@
+// Distributed example: build a capacitated-clustering coreset over data
+// partitioned across s machines with a coordinator (Theorem 4.7),
+// metering every bit of communication.
+//
+// Scenario: user activity logs sharded across 8 regional servers; the
+// coordinator wants k balanced user segments without shipping raw logs.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streambalance"
+	"streambalance/internal/workload"
+)
+
+func main() {
+	const (
+		k        = 4
+		delta    = 1 << 11
+		n        = 20000
+		machines = 8
+	)
+	rng := rand.New(rand.NewSource(21))
+	points, trueCenters := workload.Mixture{
+		N: n, D: 2, Delta: delta, K: k, Spread: 12, Skew: 3, NoiseFrac: 0.03,
+	}.Generate(rng)
+
+	// Shard unevenly (machine 0 holds ~30% of the data), as real
+	// deployments do.
+	shards := make([][]streambalance.Point, machines)
+	for _, p := range points {
+		j := rng.Intn(machines + 2)
+		if j >= machines {
+			j = 0
+		}
+		shards[j] = append(shards[j], p)
+	}
+
+	rep, err := streambalance.DistributedCoreset(shards, streambalance.DistConfig{
+		Dim: 2, Delta: delta, Params: streambalance.Params{K: k, Seed: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rawBits := int64(n) * 2 * 11 // shipping every point: n × d × log2Δ bits
+	fmt.Printf("machines: %d (shard sizes: %v)\n", machines, sizes(shards))
+	fmt.Printf("coreset at coordinator: %d weighted points (weight %.0f ≈ n=%d)\n",
+		rep.Coreset.Size(), rep.Coreset.TotalWeight(), n)
+	fmt.Printf("communication: %d bits total (%.1f bits/point) in %d rounds\n",
+		rep.Bits, float64(rep.Bits)/float64(n), rep.Rounds)
+	fmt.Printf("raw shipping costs %d bits and grows linearly with n;\n", rawBits)
+	fmt.Printf("the protocol's bits are ≈ n-independent (Theorem 4.7: s·poly(kd logΔ)) — the\n")
+	fmt.Printf("crossover sits around n ≈ %d at these sketch budgets\n\n", rep.Bits/(2*11))
+
+	fmt.Println("communication by phase:")
+	var phases []string
+	for ph := range rep.ByPhase {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		fmt.Printf("  %-18s %10d bits\n", ph, rep.ByPhase[ph])
+	}
+
+	// The coordinator solves balanced clustering on its coreset.
+	t := 1.1 * float64(n) / k
+	sol, ok := streambalance.SolveCapacitated(rep.Coreset.Points, k, t*1.3, streambalance.SolveOptions{Seed: 6})
+	if !ok {
+		panic("infeasible")
+	}
+	full := make([]streambalance.Weighted, n)
+	for i, p := range points {
+		full[i] = streambalance.Weighted{P: p, W: 1}
+	}
+	cost := streambalance.CapacitatedCost(full[:4000], sol.Centers, t*1.3*4000/float64(n), 2)
+	ref := streambalance.CapacitatedCost(full[:4000], trueCenters, t*1.3*4000/float64(n), 2)
+	fmt.Printf("\nsegment plan cost (4000-point audit sample): %.3g, reference at true centers: %.3g (ratio %.3f)\n",
+		cost, ref, cost/ref)
+}
+
+func sizes(shards [][]streambalance.Point) []int {
+	out := make([]int, len(shards))
+	for i, s := range shards {
+		out[i] = len(s)
+	}
+	return out
+}

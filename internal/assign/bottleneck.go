@@ -1,0 +1,107 @@
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"streambalance/internal/flow"
+	"streambalance/internal/geo"
+)
+
+// OptimalBottleneck computes the optimal capacitated k-CENTER assignment
+// — the r = ∞ member of the paper's capacitated k-clustering family
+// (Section 1: "capacitated k-center (for r = ∞)"): assign every point to
+// a center, at most ⌊t⌋ points per center, minimizing the MAXIMUM
+// point-center distance. It binary-searches the candidate radii (the
+// distinct point-center distances) and tests feasibility with a max-flow
+// restricted to arcs within the radius. Exact; O(nk log(nk)·maxflow).
+// ok is false when ⌊t⌋·k < n.
+func OptimalBottleneck(ps geo.PointSet, Z []geo.Point, t float64) (Result, bool) {
+	n, k := len(ps), len(Z)
+	if n == 0 {
+		return Result{Sizes: make([]float64, k)}, true
+	}
+	capPer := math.Floor(t + 1e-9)
+	if capPer*float64(k) < float64(n) {
+		return Infeasible, false
+	}
+	// Candidate radii: all point-center distances.
+	d := make([][]float64, n)
+	cand := make([]float64, 0, n*k)
+	for i, p := range ps {
+		d[i] = make([]float64, k)
+		for j, z := range Z {
+			d[i][j] = geo.Dist(p, z)
+			cand = append(cand, d[i][j])
+		}
+	}
+	sort.Float64s(cand)
+	cand = dedupFloats(cand)
+
+	feasible := func(radius float64) (Result, bool) {
+		g := flow.NewGraph(n + k + 2)
+		src, sink := 0, n+k+1
+		edgeID := make([][]int, n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(src, 1+i, 1, 0)
+			edgeID[i] = make([]int, k)
+			for j := 0; j < k; j++ {
+				edgeID[i][j] = -1
+				if d[i][j] <= radius+1e-12 {
+					edgeID[i][j] = g.AddEdge(1+i, n+1+j, 1, 0)
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			g.AddEdge(n+1+j, sink, capPer, 0)
+		}
+		f, _ := g.MinCostFlow(src, sink, float64(n))
+		if f < float64(n)-1e-6 {
+			return Result{}, false
+		}
+		flows := g.FlowsByID()
+		res := Result{Assign: make([]int, n), Sizes: make([]float64, k)}
+		for i := 0; i < n; i++ {
+			res.Assign[i] = -1
+			for j := 0; j < k; j++ {
+				if edgeID[i][j] >= 0 && flows[edgeID[i][j]] > 0.5 {
+					res.Assign[i] = j
+					res.Sizes[j]++
+					if d[i][j] > res.Cost {
+						res.Cost = d[i][j] // Cost holds the bottleneck radius
+					}
+					break
+				}
+			}
+			if res.Assign[i] < 0 {
+				return Result{}, false
+			}
+		}
+		return res, true
+	}
+
+	lo, hi := 0, len(cand)-1
+	if _, ok := feasible(cand[hi]); !ok {
+		return Infeasible, false // capacity itself infeasible (should not happen)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if _, ok := feasible(cand[mid]); ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	res, _ := feasible(cand[lo])
+	return res, true
+}
+
+func dedupFloats(vs []float64) []float64 {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+// bruteBottleneck enumerates all capacity-respecting assignments and
+// returns the minimal max-distance.
+func bruteBottleneck(ps geo.PointSet, Z []geo.Point, t float64) float64 {
+	n, k := len(ps), len(Z)
+	best := math.Inf(1)
+	asg := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			cnt := make([]int, k)
+			radius := 0.0
+			for idx, c := range asg {
+				cnt[c]++
+				if d := geo.Dist(ps[idx], Z[c]); d > radius {
+					radius = d
+				}
+			}
+			for _, c := range cnt {
+				if float64(c) > t {
+					return
+				}
+			}
+			if radius < best {
+				best = radius
+			}
+			return
+		}
+		for c := 0; c < k; c++ {
+			asg[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestBottleneckMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(4)
+		k := 2 + rng.Intn(2)
+		ps := randPts(rng, n, 2, 60)
+		Z := randPts(rng, k, 2, 60)
+		tcap := math.Ceil(float64(n)/float64(k)) + float64(rng.Intn(2))
+		want := bruteBottleneck(ps, Z, tcap)
+		res, ok := OptimalBottleneck(ps, Z, tcap)
+		if math.IsInf(want, 1) {
+			if ok {
+				t.Fatalf("trial %d: expected infeasible", trial)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: unexpectedly infeasible", trial)
+		}
+		if math.Abs(res.Cost-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: radius %v, brute force %v", trial, res.Cost, want)
+		}
+		for _, s := range res.Sizes {
+			if s > tcap+1e-9 {
+				t.Fatalf("trial %d: capacity violated", trial)
+			}
+		}
+		// Reported radius must equal the actual max assigned distance.
+		actual := 0.0
+		for i, a := range res.Assign {
+			if d := geo.Dist(ps[i], Z[a]); d > actual {
+				actual = d
+			}
+		}
+		if math.Abs(actual-res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported radius %v vs actual %v", trial, res.Cost, actual)
+		}
+	}
+}
+
+func TestBottleneckCapacityForcesLargerRadius(t *testing.T) {
+	// 3 points hug center 0; capacity 2 forces one to the far center.
+	ps := geo.PointSet{{10, 10}, {11, 10}, {10, 11}, {100, 100}}
+	Z := []geo.Point{{10, 10}, {100, 100}}
+	loose, ok := OptimalBottleneck(ps, Z, 3)
+	if !ok {
+		t.Fatal("infeasible loose")
+	}
+	tight, ok := OptimalBottleneck(ps, Z, 2)
+	if !ok {
+		t.Fatal("infeasible tight")
+	}
+	if tight.Cost <= loose.Cost {
+		t.Fatalf("tight capacity should force a larger radius: %v vs %v", tight.Cost, loose.Cost)
+	}
+	if tight.Sizes[0] != 2 || tight.Sizes[1] != 2 {
+		t.Fatalf("tight sizes %v", tight.Sizes)
+	}
+}
+
+func TestBottleneckInfeasible(t *testing.T) {
+	ps := geo.PointSet{{1, 1}, {2, 2}, {3, 3}}
+	if _, ok := OptimalBottleneck(ps, []geo.Point{{1, 1}}, 2); ok {
+		t.Fatal("must be infeasible")
+	}
+}
+
+func TestBottleneckEmpty(t *testing.T) {
+	res, ok := OptimalBottleneck(nil, []geo.Point{{1, 1}}, 1)
+	if !ok || res.Cost != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestBottleneckZeroRadius(t *testing.T) {
+	// Points exactly on the centers, balanced: radius 0.
+	ps := geo.PointSet{{5, 5}, {20, 20}}
+	Z := []geo.Point{{5, 5}, {20, 20}}
+	res, ok := OptimalBottleneck(ps, Z, 1)
+	if !ok || res.Cost != 0 {
+		t.Fatalf("ok=%v radius=%v", ok, res.Cost)
+	}
+}

@@ -1,0 +1,337 @@
+// Package assign implements capacitated assignment of (weighted) points
+// to centers: the cost functions cost^{(r)}_t of Section 2, optimal
+// assignments via min-cost flow, the fractional-to-integral rounding of
+// Section 3.3 (cycle elimination leaving at most k−1 split points), the
+// half-space structure of Definitions 2.2/3.7/3.10 with the curved
+// ℓ_r hyperplanes of Section 1.2, and the assignment transfer of
+// Definition 3.11.
+package assign
+
+import (
+	"math"
+
+	"streambalance/internal/flow"
+	"streambalance/internal/geo"
+)
+
+// Result describes an assignment of points to centers.
+type Result struct {
+	Assign []int     // Assign[i] = index into Z of point i's center
+	Cost   float64   // Σ w(p)·dist^r(p, Z[Assign[p]])
+	Sizes  []float64 // total assigned weight per center (the size vector s(π))
+}
+
+// Infeasible is returned (with ok == false) when no assignment satisfies
+// the capacity constraint, mirroring cost_t = ∞ in the paper.
+var Infeasible = Result{Cost: math.Inf(1)}
+
+// UnconstrainedCost computes cost^{(r)}(Q, Z, w) = Σ w(p)·dist^r(p, Z):
+// every point served by its nearest center (capacity t = ∞).
+func UnconstrainedCost(ws []geo.Weighted, Z []geo.Point, r float64) float64 {
+	var c float64
+	for _, w := range ws {
+		d, _ := geo.DistToSet(w.P, Z)
+		c += w.W * geo.PowR(d, r)
+	}
+	return c
+}
+
+// CostOfAssignment evaluates Σ w(p)·dist^r(p, Z[pi[p]]) for an explicit
+// assignment pi. Entries with pi[i] < 0 are skipped.
+func CostOfAssignment(ws []geo.Weighted, Z []geo.Point, pi []int, r float64) float64 {
+	var c float64
+	for i, w := range ws {
+		if pi[i] < 0 {
+			continue
+		}
+		c += w.W * geo.DistR(w.P, Z[pi[i]], r)
+	}
+	return c
+}
+
+// SizeVector computes s(π): total assigned weight per center.
+func SizeVector(ws []geo.Weighted, pi []int, k int) []float64 {
+	s := make([]float64, k)
+	for i, w := range ws {
+		if pi[i] >= 0 {
+			s[pi[i]] += w.W
+		}
+	}
+	return s
+}
+
+// Optimal computes the optimal capacitated assignment of unit-weight (or
+// uniformly weighted) points to centers Z under per-center capacity t
+// (in points), i.e. cost^{(r)}_t(Q, Z). By transportation integrality the
+// min-cost flow solution is integral, so the result is the exact optimum.
+// ok is false when ⌊t⌋·k < |ps| (no feasible partition).
+func Optimal(ps geo.PointSet, Z []geo.Point, t float64, r float64) (Result, bool) {
+	n, k := len(ps), len(Z)
+	if n == 0 {
+		return Result{Assign: nil, Sizes: make([]float64, k)}, true
+	}
+	capPer := math.Floor(t + 1e-9)
+	if capPer*float64(k) < float64(n) {
+		return Infeasible, false
+	}
+	// Nodes: 0 = S, 1..n = points, n+1..n+k = centers, n+k+1 = T.
+	g := flow.NewGraph(n + k + 2)
+	src, sink := 0, n+k+1
+	edgeID := make([][]int, n)
+	for i, p := range ps {
+		g.AddEdge(src, 1+i, 1, 0)
+		edgeID[i] = make([]int, k)
+		for j, z := range Z {
+			edgeID[i][j] = g.AddEdge(1+i, n+1+j, 1, geo.DistR(p, z, r))
+		}
+	}
+	for j := 0; j < k; j++ {
+		g.AddEdge(n+1+j, sink, capPer, 0)
+	}
+	f, cost := g.MinCostFlow(src, sink, float64(n))
+	if f < float64(n)-1e-6 {
+		return Infeasible, false
+	}
+	flows := g.FlowsByID()
+	res := Result{Assign: make([]int, n), Cost: cost, Sizes: make([]float64, k)}
+	for i := 0; i < n; i++ {
+		res.Assign[i] = -1
+		for j := 0; j < k; j++ {
+			if flows[edgeID[i][j]] > 0.5 {
+				res.Assign[i] = j
+				res.Sizes[j]++
+				break
+			}
+		}
+		if res.Assign[i] < 0 {
+			return Infeasible, false // should not happen at full flow
+		}
+	}
+	return res, true
+}
+
+// FractionalCost computes the optimal fractional capacitated assignment
+// cost of weighted points (weights may be split across centers), i.e. the
+// LP relaxation of cost^{(r)}_t(Q, Z, w) that Section 3.3 solves by
+// minimum-cost flow. It returns the cost and the flow matrix
+// x[i][j] = weight of point i served by center j. ok is false when
+// t·k < Σw (infeasible).
+func FractionalCost(ws []geo.Weighted, Z []geo.Point, t float64, r float64) (float64, [][]float64, bool) {
+	n, k := len(ws), len(Z)
+	if n == 0 {
+		return 0, nil, true
+	}
+	total := geo.TotalWeight(ws)
+	if t*float64(k) < total-1e-9 {
+		return math.Inf(1), nil, false
+	}
+	g := flow.NewGraph(n + k + 2)
+	src, sink := 0, n+k+1
+	edgeID := make([][]int, n)
+	for i, w := range ws {
+		g.AddEdge(src, 1+i, w.W, 0)
+		edgeID[i] = make([]int, k)
+		for j, z := range Z {
+			edgeID[i][j] = g.AddEdge(1+i, n+1+j, w.W, geo.DistR(w.P, z, r))
+		}
+	}
+	for j := 0; j < k; j++ {
+		g.AddEdge(n+1+j, sink, t, 0)
+	}
+	f, cost := g.MinCostFlow(src, sink, total)
+	if f < total-1e-6*math.Max(1, total) {
+		return math.Inf(1), nil, false
+	}
+	flows := g.FlowsByID()
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if v := flows[edgeID[i][j]]; v > flow.Eps {
+				x[i][j] = v
+			}
+		}
+	}
+	return cost, x, true
+}
+
+// Weighted computes an integral capacitated assignment for weighted
+// points following Section 3.3: solve the fractional problem by min-cost
+// flow, eliminate cycles in the bipartite support graph (each elimination
+// is cost-neutral because the fractional solution is optimal), leaving at
+// most k−1 points with split weight, then assign each remaining split
+// point wholly to its nearest center. The returned size vector therefore
+// exceeds t by at most (k−1)·max w(p), exactly the slack the paper
+// absorbs into the (1+η) capacity violation.
+func Weighted(ws []geo.Weighted, Z []geo.Point, t float64, r float64) (Result, bool) {
+	n, k := len(ws), len(Z)
+	if n == 0 {
+		return Result{Sizes: make([]float64, k)}, true
+	}
+	_, x, ok := FractionalCost(ws, Z, t, r)
+	if !ok {
+		return Infeasible, false
+	}
+	eliminateCycles(x, ws, Z, r)
+	res := Result{Assign: make([]int, n), Sizes: make([]float64, k)}
+	for i := range ws {
+		// Count support.
+		support := -1
+		split := false
+		for j := 0; j < k; j++ {
+			if x[i][j] > flow.Eps {
+				if support >= 0 {
+					split = true
+					break
+				}
+				support = j
+			}
+		}
+		if split || support < 0 {
+			// Split (or numerically lost) point → nearest center, per §3.3.
+			_, support = geo.DistToSet(ws[i].P, Z)
+		}
+		res.Assign[i] = support
+		res.Sizes[support] += ws[i].W
+	}
+	res.Cost = CostOfAssignment(ws, Z, res.Assign, r)
+	return res, true
+}
+
+// eliminateCycles removes cycles from the bipartite point–center support
+// graph of a fractional assignment x by shifting flow around each cycle
+// in its cost-nonincreasing direction until the support is a forest
+// (Section 3.3 steps 1–4). x is modified in place.
+func eliminateCycles(x [][]float64, ws []geo.Weighted, Z []geo.Point, r float64) {
+	n, k := len(x), len(Z)
+	if n == 0 {
+		return
+	}
+	costOf := func(i, j int) float64 { return geo.DistR(ws[i].P, Z[j], r) }
+	for {
+		cyc := findSupportCycle(x, n, k)
+		if cyc == nil {
+			return
+		}
+		// cyc alternates point,center,point,center,... as (pt, ct) edge
+		// pairs: edges are (p_0,c_0),(p_1,c_0),(p_1,c_1),...,(p_0,c_{m-1}).
+		// We receive it as a list of (point, center) edges with alternating
+		// +/− orientation.
+		delta := 0.0
+		min := math.Inf(1)
+		for idx, e := range cyc {
+			if idx%2 == 0 {
+				delta -= costOf(e[0], e[1]) // flow decreases on even edges
+				if x[e[0]][e[1]] < min {
+					min = x[e[0]][e[1]]
+				}
+			} else {
+				delta += costOf(e[0], e[1])
+			}
+		}
+		// At a fractional optimum every cycle is cost-neutral (delta ≈ 0);
+		// numerical slack can leave a tiny nonzero delta, in which case we
+		// shift in the nonincreasing direction.
+		if delta > 0 {
+			// Reverse orientation: decrease odd edges instead.
+			min = math.Inf(1)
+			for idx, e := range cyc {
+				if idx%2 == 1 && x[e[0]][e[1]] < min {
+					min = x[e[0]][e[1]]
+				}
+			}
+			for idx, e := range cyc {
+				if idx%2 == 1 {
+					x[e[0]][e[1]] -= min
+				} else {
+					x[e[0]][e[1]] += min
+				}
+			}
+		} else {
+			for idx, e := range cyc {
+				if idx%2 == 0 {
+					x[e[0]][e[1]] -= min
+				} else {
+					x[e[0]][e[1]] += min
+				}
+			}
+		}
+		// Clean numerical dust so the support strictly shrinks.
+		for _, e := range cyc {
+			if x[e[0]][e[1]] < flow.Eps {
+				x[e[0]][e[1]] = 0
+			}
+		}
+	}
+}
+
+// findSupportCycle returns a cycle in the bipartite support graph as an
+// alternating edge list [(p,c),(p',c),(p',c'),...] or nil if the support
+// is a forest. Even-indexed and odd-indexed edges alternate orientation
+// around the cycle.
+func findSupportCycle(x [][]float64, n, k int) [][2]int {
+	// Nodes: 0..n−1 points, n..n+k−1 centers.
+	adj := make([][]int, n+k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			if x[i][j] > flow.Eps {
+				adj[i] = append(adj[i], n+j)
+				adj[n+j] = append(adj[n+j], i)
+			}
+		}
+	}
+	state := make([]int, n+k) // 0 unvisited, 1 in stack, 2 done
+	parent := make([]int, n+k)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleNodes []int
+	var dfs func(u, from int) bool
+	dfs = func(u, from int) bool {
+		state[u] = 1
+		for _, v := range adj[u] {
+			if v == from {
+				from = -2 // skip the immediate parent once (multi-edges impossible here)
+				continue
+			}
+			if state[v] == 1 {
+				// Found a cycle: walk back from u to v.
+				cycleNodes = append(cycleNodes, v)
+				for w := u; w != v; w = parent[w] {
+					cycleNodes = append(cycleNodes, w)
+				}
+				return true
+			}
+			if state[v] == 0 {
+				parent[v] = u
+				if dfs(v, u) {
+					return true
+				}
+			}
+		}
+		state[u] = 2
+		return false
+	}
+	for s := 0; s < n+k; s++ {
+		if state[s] == 0 && dfs(s, -1) {
+			break
+		}
+	}
+	if cycleNodes == nil {
+		return nil
+	}
+	// cycleNodes is a closed walk v, u_m, ..., u_1 with u_1 adjacent to v.
+	// Convert node cycle to edge list in order, normalizing each edge to
+	// (point, center).
+	m := len(cycleNodes)
+	edges := make([][2]int, 0, m)
+	for i := 0; i < m; i++ {
+		a, b := cycleNodes[i], cycleNodes[(i+1)%m]
+		if a < n {
+			edges = append(edges, [2]int{a, b - n})
+		} else {
+			edges = append(edges, [2]int{b, a - n})
+		}
+	}
+	return edges
+}

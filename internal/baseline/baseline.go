@@ -1,0 +1,131 @@
+// Package baseline implements the comparison points for the paper's
+// coreset: plain uniform sampling, and a three-pass insertion-only
+// mapping coreset in the style of [BBLM14] ("Distributed balanced
+// clustering via mapping coresets") — the only previously known streaming
+// approach to capacitated clustering, which the paper's introduction
+// contrasts against (three passes, insertion-only, large hidden
+// constants). The [BBLM14] construction is described at the level of
+// "compute pivots, map points to pivots"; this implementation realizes it
+// with Meyerson-style online facility location for the pivot pass, the
+// standard practical instantiation.
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/solve"
+)
+
+// Uniform draws a uniform sample of m points (without replacement) and
+// weights each by n/m — the naive coreset every sampling scheme is
+// measured against. It is unbiased for uncapacitated costs but has no
+// per-part variance control, so sparse-but-expensive regions are easily
+// missed.
+func Uniform(rng *rand.Rand, ps geo.PointSet, m int) []geo.Weighted {
+	n := len(ps)
+	if m >= n {
+		return geo.UnitWeights(ps)
+	}
+	perm := rng.Perm(n)
+	out := make([]geo.Weighted, m)
+	w := float64(n) / float64(m)
+	for i := 0; i < m; i++ {
+		out[i] = geo.Weighted{P: ps[perm[i]], W: w}
+	}
+	return out
+}
+
+// ThreePassResult is the output of the mapping-coreset baseline.
+type ThreePassResult struct {
+	Coreset []geo.Weighted // pivots with mapped mass
+	Passes  int            // always 3
+	Pivots  int
+	// MaxMoveR is max over points of dist^r(p, pivot(p)) — the mapping
+	// radius that controls both the cost and the capacity distortion of a
+	// mapping coreset.
+	MaxMoveR float64
+}
+
+// ThreePass builds a [BBLM14]-style mapping coreset over an
+// insertion-only stream, reading the input exactly three times:
+//
+//	pass 1: reservoir-sample, estimate OPT (the facility cost scale);
+//	pass 2: Meyerson online facility location selects pivots;
+//	pass 3: map every point to its nearest pivot, accumulating weights.
+//
+// targetPivots bounds the pivot count; when the pivot set overflows, the
+// facility cost doubles (the classic guess-doubling), coarsening later
+// pivots. The result is a mapping coreset: points are MOVED to pivots
+// (Q′ ⊄ Q), so capacities are preserved only up to the mapping radius —
+// one of the structural weaknesses relative to the paper's subset coreset.
+//
+// Deletions are fundamentally unsupported: passes 2 and 3 depend on the
+// prefix of insertions seen so far, which is exactly the limitation
+// Theorem 4.5 removes.
+func ThreePass(ps geo.PointSet, k int, r float64, delta int64, targetPivots int, seed int64) (*ThreePassResult, error) {
+	n := len(ps)
+	if n == 0 {
+		return nil, errors.New("baseline: empty input")
+	}
+	if targetPivots < k {
+		targetPivots = k
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// ---- Pass 1: reservoir sample → OPT estimate. ----
+	const reservoirSize = 1000
+	reservoir := make(geo.PointSet, 0, reservoirSize)
+	for i, p := range ps { // single forward pass
+		if len(reservoir) < reservoirSize {
+			reservoir = append(reservoir, p)
+		} else if j := rng.Intn(i + 1); j < reservoirSize {
+			reservoir[j] = p
+		}
+	}
+	est := solve.EstimateOPT(rng, geo.UnitWeights(reservoir), k, r, delta, 2) *
+		float64(n) / float64(len(reservoir))
+	if est <= 0 {
+		est = 1
+	}
+
+	// ---- Pass 2: Meyerson online facility location. ----
+	// Facility cost f = OPT/(k·(1+log n)) gives O(k log n) facilities in
+	// expectation when the guess is right.
+	f := est / (float64(k) * (1 + math.Log(float64(n)+1)))
+	var pivots geo.PointSet
+	for _, p := range ps { // single forward pass
+		if len(pivots) == 0 {
+			pivots = append(pivots, p)
+			continue
+		}
+		d, _ := geo.DistToSet(p, pivots)
+		dr := geo.PowR(d, r)
+		if rng.Float64() < math.Min(1, dr/f) {
+			pivots = append(pivots, p)
+			if len(pivots) > targetPivots {
+				f *= 2 // guess doubling: coarsen subsequent pivots
+			}
+		}
+	}
+
+	// ---- Pass 3: map mass onto pivots. ----
+	w := make([]float64, len(pivots))
+	maxMove := 0.0
+	for _, p := range ps { // single forward pass
+		d, j := geo.DistToSet(p, pivots)
+		w[j]++
+		if dr := geo.PowR(d, r); dr > maxMove {
+			maxMove = dr
+		}
+	}
+	out := make([]geo.Weighted, 0, len(pivots))
+	for j, piv := range pivots {
+		if w[j] > 0 {
+			out = append(out, geo.Weighted{P: piv, W: w[j]})
+		}
+	}
+	return &ThreePassResult{Coreset: out, Passes: 3, Pivots: len(out), MaxMoveR: maxMove}, nil
+}

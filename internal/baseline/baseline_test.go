@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+	"streambalance/internal/workload"
+)
+
+func TestUniformWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := workload.UniformBox(rng, 1000, 2, 256)
+	cs := Uniform(rng, ps, 100)
+	if len(cs) != 100 {
+		t.Fatalf("size = %d", len(cs))
+	}
+	if w := geo.TotalWeight(cs); math.Abs(w-1000) > 1e-9 {
+		t.Fatalf("total weight %v", w)
+	}
+	// Sampling without replacement: all distinct indices (points may
+	// coincide only if the input had duplicates, which UniformBox makes
+	// unlikely but possible — check weights instead).
+	for _, c := range cs {
+		if c.W != 10 {
+			t.Fatalf("weight %v, want 10", c.W)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := geo.PointSet{{1, 1}, {2, 2}}
+	cs := Uniform(rng, ps, 10)
+	if len(cs) != 2 || cs[0].W != 1 {
+		t.Fatal("m ≥ n must return the input with unit weights")
+	}
+}
+
+func TestUniformPreservesCostOnEasyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps, truec := workload.Mixture{N: 8000, D: 2, Delta: 4096, K: 3, Spread: 10}.Generate(rng)
+	cs := Uniform(rng, ps, 800)
+	full := assign.UnconstrainedCost(geo.UnitWeights(ps), truec, 2)
+	core := assign.UnconstrainedCost(cs, truec, 2)
+	if ratio := core / full; ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("uniform sampling off even on benign data: ratio %v", ratio)
+	}
+}
+
+func TestThreePassBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps, _ := workload.Mixture{N: 5000, D: 2, Delta: 4096, K: 3, Spread: 8}.Generate(rng)
+	res, err := ThreePass(ps, 3, 2, 4096, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 3 {
+		t.Fatalf("passes = %d", res.Passes)
+	}
+	if res.Pivots == 0 || res.Pivots > 3000 {
+		t.Fatalf("pivot count %d out of range", res.Pivots)
+	}
+	if w := geo.TotalWeight(res.Coreset); math.Abs(w-5000) > 1e-6 {
+		t.Fatalf("mapped mass %v, want 5000 exactly", w)
+	}
+	if res.MaxMoveR <= 0 {
+		t.Fatal("mapping radius must be positive on non-degenerate data")
+	}
+}
+
+func TestThreePassQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps, truec := workload.Mixture{N: 6000, D: 2, Delta: 4096, K: 3, Spread: 8}.Generate(rng)
+	res, err := ThreePass(ps, 3, 2, 4096, 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := assign.UnconstrainedCost(geo.UnitWeights(ps), truec, 2)
+	core := assign.UnconstrainedCost(res.Coreset, truec, 2)
+	// A mapping coreset distorts costs by the movement cost; allow a wide
+	// band but require the right order of magnitude.
+	if ratio := core / full; ratio < 0.3 || ratio > 3 {
+		t.Fatalf("3-pass cost ratio %v", ratio)
+	}
+}
+
+func TestThreePassPointsAreMovedNotSubset(t *testing.T) {
+	// The structural difference from the paper's coreset: mapped weights
+	// concentrate on few pivots, so generally |coreset| ≪ distinct inputs
+	// and some mass sits at a location with multiplicity ≫ 1.
+	rng := rand.New(rand.NewSource(6))
+	ps, _ := workload.Mixture{N: 4000, D: 2, Delta: 2048, K: 2, Spread: 6}.Generate(rng)
+	res, err := ThreePass(ps, 2, 2, 2048, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 0
+	for _, c := range res.Coreset {
+		if c.W > 5 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("expected concentrated pivot weights in a mapping coreset")
+	}
+}
+
+func TestThreePassEmptyInput(t *testing.T) {
+	if _, err := ThreePass(nil, 2, 2, 16, 10, 1); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestThreePassDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps, _ := workload.Mixture{N: 2000, D: 2, Delta: 1024, K: 2, Spread: 5}.Generate(rng)
+	a, _ := ThreePass(ps, 2, 2, 1024, 200, 42)
+	b, _ := ThreePass(ps, 2, 2, 1024, 200, 42)
+	if a.Pivots != b.Pivots {
+		t.Fatalf("nondeterministic: %d vs %d pivots", a.Pivots, b.Pivots)
+	}
+}

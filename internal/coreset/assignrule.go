@@ -1,0 +1,188 @@
+package coreset
+
+import (
+	"errors"
+	"math"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+	"streambalance/internal/partition"
+)
+
+// AssignmentRule is the output of Section 3.3: given k centers Z and a
+// capacity t′, a rule — computed from the coreset alone, in
+// poly(|Q′|) time — that assigns ANY point of the original set Q to a
+// center, such that the induced assignment costs at most
+// (1+O(ε))·cost_{t′}(Q′, Z, w′) and has size vector bounded by
+// (1+O(η))·t′. The rule is built from:
+//
+//  1. an integral capacitated assignment π′ of the coreset (fractional
+//     min-cost flow + cycle elimination, ≤ k−1 split points),
+//  2. the switching canonicalization (step 1c of §3.3) making each
+//     per-level assignment consistent with a set of assignment
+//     half-spaces H_i,
+//  3. per part Q_{i,j}, the transferred assignment (Definition 3.11) of
+//     the half-space regions, with region weights estimated from the
+//     coreset samples,
+//  4. nearest-center fallback for points outside every included part
+//     (the small parts Lemma 3.4 bounds).
+type AssignmentRule struct {
+	Z []geo.Point
+	R float64
+
+	// CoresetAssign is π′′ restricted to the coreset points (same order
+	// as Coreset.Points).
+	CoresetAssign []int
+	// CoresetCost is Σ w′(p)·dist^r(p, π′′(p)).
+	CoresetCost float64
+
+	part     *partition.Partition
+	level    map[partition.PartID]*partRule
+	fallback bool
+}
+
+// partRule holds the transferred-assignment data for one part.
+type partRule struct {
+	hs    *assign.HalfSpaceSet
+	b     []float64 // region weight estimates from the coreset samples
+	xi    float64
+	t     float64
+	iStar int
+}
+
+// ErrInfeasible is returned when t′·k cannot hold the coreset weight.
+var ErrInfeasible = errors.New("coreset: assignment infeasible at this capacity")
+
+// BuildAssignmentRule runs Section 3.3 for the given centers and
+// capacity t′ ≥ max(Σw′, |Q|)/k.
+func (c *Coreset) BuildAssignmentRule(Z []geo.Point, tPrime float64) (*AssignmentRule, error) {
+	if c.Part == nil || c.Plan == nil {
+		return nil, errors.New("coreset: missing partition metadata (not built by this package?)")
+	}
+	k := len(Z)
+	if k == 0 {
+		return nil, errors.New("coreset: no centers")
+	}
+	r := c.Params.R
+
+	// Step 1: integral capacitated assignment of the weighted coreset
+	// (fractional optimum + cycle elimination + nearest-center for the
+	// ≤ k−1 split points).
+	res, ok := assign.Weighted(c.Points, Z, tPrime, r)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	pi := res.Assign
+
+	// Step 2: canonicalize ties per level group (points of one level
+	// share a weight 1/φ_i, the "same weight class" of Lemma 3.8; the
+	// switching keeps cost and sizes and makes the assignment half-space
+	// representable).
+	byLevel := map[int][]int{} // level → coreset indices
+	for idx, lv := range c.Levels {
+		byLevel[lv] = append(byLevel[lv], idx)
+	}
+	rule := &AssignmentRule{
+		Z: Z, R: r,
+		CoresetAssign: pi,
+		part:          c.Part,
+		level:         map[partition.PartID]*partRule{},
+	}
+	gamma := c.Plan.Gamma
+	xi := c.Params.Xi(c.Grid.Dim, c.Grid.L)
+	// The conservative ξ underflows to ~1e-12; the transfer threshold
+	// 2ξT only needs to be a small fraction of the part threshold.
+	if xi < 1e-6 {
+		xi = 1e-6
+	}
+
+	for lv, idxs := range byLevel {
+		pts := make(geo.PointSet, len(idxs))
+		sub := make([]int, len(idxs))
+		for i, idx := range idxs {
+			pts[i] = c.Points[idx].P
+			sub[i] = pi[idx]
+		}
+		assign.CanonicalizeTies(pts, sub, Z, r)
+		for i, idx := range idxs {
+			pi[idx] = sub[i]
+		}
+		// Step 3: per part at this level, derive half-spaces from the
+		// canonicalized assignment restricted to the part, and set up the
+		// transferred assignment.
+		byPart := map[partition.PartID][]int{} // part → positions in idxs
+		for i, idx := range idxs {
+			id, ok := c.Part.PartOf(c.Points[idx].P)
+			if !ok {
+				continue
+			}
+			byPart[id] = append(byPart[id], i)
+		}
+		T := 0.5 * gamma * c.Part.ThresholdT(lv)
+		for id, members := range byPart {
+			ppts := make(geo.PointSet, len(members))
+			ppi := make([]int, len(members))
+			ws := make([]geo.Weighted, len(members))
+			for j, i := range members {
+				ppts[j] = pts[i]
+				ppi[j] = sub[i]
+				ws[j] = c.Points[idxs[i]]
+			}
+			hs, _ := assign.FromAssignment(ppts, ppi, Z, r)
+			b := hs.RegionCounts(ws)
+			iStar := 0
+			for i := 1; i < k; i++ {
+				if b[1+i] > b[1+iStar] {
+					iStar = i
+				}
+			}
+			rule.level[id] = &partRule{hs: hs, b: b, xi: xi, t: T, iStar: iStar}
+		}
+	}
+	rule.CoresetCost = assign.CostOfAssignment(c.Points, Z, pi, r)
+	rule.fallback = true
+	return rule, nil
+}
+
+// Assign maps an arbitrary original point to its center index under the
+// rule: the transferred assignment of its part if the part carries
+// coreset samples, otherwise the nearest center (the Lemma 3.4 fallback
+// for excluded small parts).
+func (ar *AssignmentRule) Assign(p geo.Point) int {
+	if id, ok := ar.part.PartOf(p); ok {
+		if pr := ar.level[id]; pr != nil {
+			reg := pr.hs.Region(p)
+			if reg >= 0 && pr.b[1+reg] >= 2*pr.xi*pr.t {
+				return reg
+			}
+			return pr.iStar
+		}
+	}
+	_, j := geo.DistToSet(p, ar.Z)
+	return j
+}
+
+// Apply assigns every point of ps and reports the assignment, its ℓ_r
+// cost and the size vector.
+func (ar *AssignmentRule) Apply(ps geo.PointSet) (pi []int, cost float64, sizes []float64) {
+	pi = make([]int, len(ps))
+	sizes = make([]float64, len(ar.Z))
+	for i, p := range ps {
+		j := ar.Assign(p)
+		pi[i] = j
+		sizes[j]++
+		cost += geo.DistR(p, ar.Z[j], ar.R)
+	}
+	return pi, cost, sizes
+}
+
+// MaxSize returns ‖s(π)‖_∞ of an Apply result.
+func MaxSize(sizes []float64) float64 {
+	m := math.Inf(-1)
+	for _, s := range sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

@@ -1,0 +1,55 @@
+package coreset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Compose merges coresets of DISJOINT point sets into a coreset of the
+// union: strong coresets compose additively — for every Z and capacity t,
+// each part's capacitated cost estimator is preserved, so their union
+// preserves the union's (this is the composability the distributed
+// protocol of Theorem 4.7 exploits, exposed here for offline pipelines
+// such as merging per-shard or per-day coresets).
+//
+// All inputs must agree on K, R and dimension; ε/η of the result are the
+// worst of the inputs (recorded in the output). The merged object is
+// Portable (no partition metadata: the inputs were built over different
+// grids, so the §3.3 assignment rule does not transfer — rebuild it from
+// a fresh construction when needed).
+func Compose(parts ...Portable) (Portable, error) {
+	if len(parts) == 0 {
+		return Portable{}, errors.New("coreset: nothing to compose")
+	}
+	out := Portable{
+		Version: portableVersion,
+		K:       parts[0].K,
+		R:       parts[0].R,
+		Dim:     parts[0].Dim,
+		Eps:     parts[0].Eps,
+		Eta:     parts[0].Eta,
+	}
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			return Portable{}, fmt.Errorf("coreset: part %d invalid: %w", i, err)
+		}
+		if p.K != out.K || p.R != out.R || p.Dim != out.Dim {
+			return Portable{}, fmt.Errorf("coreset: part %d has incompatible (K, R, dim) = (%d, %g, %d)",
+				i, p.K, p.R, p.Dim)
+		}
+		if p.Eps > out.Eps {
+			out.Eps = p.Eps
+		}
+		if p.Eta > out.Eta {
+			out.Eta = p.Eta
+		}
+		if p.Delta > out.Delta {
+			out.Delta = p.Delta
+		}
+		if p.O > out.O {
+			out.O = p.O
+		}
+		out.Points = append(out.Points, p.Points...)
+	}
+	return out, nil
+}

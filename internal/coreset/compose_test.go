@@ -1,0 +1,79 @@
+package coreset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+	"streambalance/internal/workload"
+)
+
+func TestComposePreservesCosts(t *testing.T) {
+	// Two disjoint regional datasets, coreset each, compose; the result
+	// must track costs of the union.
+	rngA := rand.New(rand.NewSource(81))
+	rngB := rand.New(rand.NewSource(82))
+	// Region A occupies the left half of the domain, region B the right
+	// (disjoint supports).
+	psA, _ := workload.Mixture{N: 4000, D: 2, Delta: 1 << 11, K: 2, Spread: 12}.Generate(rngA)
+	psB, _ := workload.Mixture{N: 4000, D: 2, Delta: 1 << 11, K: 2, Spread: 12}.Generate(rngB)
+	for i := range psA {
+		psA[i][0] = 1 + psA[i][0]/2 // squeeze into [1, Δ/2]
+	}
+	for i := range psB {
+		psB[i][0] = 1<<10 + psB[i][0]/2 // squeeze into [Δ/2, Δ]
+	}
+	csA, err := Build(psA, Params{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csB, err := Build(psB, Params{K: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Compose(csA.Export(), csB.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := append(append(geo.PointSet{}, psA...), psB...)
+	if w := geo.TotalWeight(merged.Points); math.Abs(w-float64(len(union))) > 0.1*float64(len(union)) {
+		t.Fatalf("merged weight %v vs union n=%d", w, len(union))
+	}
+	// Cost fidelity at centers spanning both regions.
+	Z := []geo.Point{{400, 800}, {900, 1200}, {1300, 700}, {1800, 1300}}
+	full := assign.UnconstrainedCost(geo.UnitWeights(union), Z, 2)
+	core := assign.UnconstrainedCost(merged.Points, Z, 2)
+	if r := core / full; r < 0.85 || r > 1.15 {
+		t.Fatalf("composed coreset cost ratio %v", r)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Compose(); err == nil {
+		t.Fatal("empty compose must error")
+	}
+	a := Portable{Version: 1, K: 2, R: 2, Dim: 2, Delta: 16,
+		Points: []geo.Weighted{{P: geo.Point{1, 1}, W: 1}}}
+	b := a
+	b.K = 3
+	if _, err := Compose(a, b); err == nil {
+		t.Fatal("mismatched K must error")
+	}
+	c := a
+	c.Points = []geo.Weighted{{P: geo.Point{1, 1}, W: -1}}
+	if _, err := Compose(a, c); err == nil {
+		t.Fatal("invalid part must error")
+	}
+	// Compatible parts merge, taking the worst ε/η and largest Δ.
+	d := a
+	d.Eps, d.Eta, d.Delta = 0.4, 0.1, 32
+	out, err := Compose(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Eps != 0.4 || out.Delta != 32 || len(out.Points) != 2 {
+		t.Fatalf("merged metadata: %+v", out)
+	}
+}

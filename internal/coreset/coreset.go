@@ -1,0 +1,279 @@
+package coreset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+	"streambalance/internal/partition"
+	"streambalance/internal/solve"
+)
+
+// Coreset is a strong (η, ε)-coreset for capacitated k-clustering in ℓ_r:
+// a weighted subset Q' ⊆ Q such that for every capacity t ≥ |Q|/k and
+// every center set Z of size k,
+//
+//	cost_{(1+η)t}(Q, Z) ≤ (1+ε)·cost_t(Q', Z, w')   and
+//	cost_{(1+η)t}(Q', Z, w') ≤ (1+ε)·cost_t(Q, Z).
+type Coreset struct {
+	Points []geo.Weighted // the coreset Q' with weights w'
+
+	O      float64              // the accepted guess of OPT^{(r)}_{k-clus}
+	Grid   *grid.Grid           // the shifted grid hierarchy used
+	Part   *partition.Partition // the heavy-cell partition for the accepted o
+	Plan   *Plan                // per-level sampling rates and inclusion decisions
+	Params Params               // the resolved parameters
+	Levels []int                // Levels[i] = grid level of Points[i]'s part
+}
+
+// Size returns |Q'|.
+func (c *Coreset) Size() int { return len(c.Points) }
+
+// TotalWeight returns Σ w'(p) ≈ |Q| (each sampled point carries weight
+// 1/φ_i times its multiplicity).
+func (c *Coreset) TotalWeight() float64 { return geo.TotalWeight(c.Points) }
+
+// Plan captures the per-level decisions of Algorithm 2 for one guess o:
+// whether the guess FAILs, which parts are included (τ(Q_{i,j}) ≥
+// γ·T_i(o)), and the per-level sampling probability φ_i. The streaming
+// and distributed constructions reuse the same planner.
+type Plan struct {
+	O        float64
+	Gamma    float64
+	Phi      []float64 // φ_i per level 0..L
+	Included map[partition.PartID]bool
+	FailWhy  string // non-empty if the guess FAILs
+}
+
+// Failed reports whether Algorithm 2 returns FAIL for this guess.
+func (pl *Plan) Failed() bool { return pl.FailWhy != "" }
+
+// BuildPlan evaluates the FAIL conditions of Algorithm 2 (lines 5–6) and
+// computes φ_i and the included-part set PI_i (lines 8–9) for the
+// partition produced with guess o.
+func BuildPlan(part *partition.Partition, p Params) *Plan {
+	g := part.Grid
+	d, L := g.Dim, g.L
+	pl := &Plan{
+		O:        part.O,
+		Gamma:    p.Gamma(d, L),
+		Phi:      make([]float64, L+1),
+		Included: make(map[partition.PartID]bool),
+	}
+	// Line 5: too many heavy cells.
+	if hc := float64(part.HeavyCount()); hc > p.HeavyBudget(d, L) {
+		pl.FailWhy = fmt.Sprintf("heavy cells %v exceed budget %v", hc, p.HeavyBudget(d, L))
+		return pl
+	}
+	// Line 6: per-level mass τ(∪_j Q_{i,j}) too large.
+	levelTau := make([]float64, L+1)
+	for id, pt := range part.Parts {
+		levelTau[id.Level] += pt.Tau
+	}
+	for i := 0; i <= L; i++ {
+		T := part.ThresholdT(i)
+		if levelTau[i] > p.LevelBudget(d, L, T) {
+			pl.FailWhy = fmt.Sprintf("level %d mass %v exceeds budget %v", i, levelTau[i], p.LevelBudget(d, L, T))
+			return pl
+		}
+		pl.Phi[i] = p.Phi(T, d, L)
+	}
+	// Line 9: include parts with τ(Q_{i,j}) ≥ γ·T_i(o).
+	for id, pt := range part.Parts {
+		if pt.Tau >= pl.Gamma*part.ThresholdT(id.Level) {
+			pl.Included[id] = true
+		}
+	}
+	return pl
+}
+
+// SamplerSet is the family ĥ_0, ..., ĥ_L of λ-wise independent Bernoulli
+// samplers of Algorithm 2 line 10 (one per level, rate φ_i), keyed by
+// point fingerprints. The streaming algorithm creates the identical
+// family before the stream starts.
+type SamplerSet struct {
+	fp  *hashing.Fingerprint
+	hs  []*hashing.Bernoulli
+	phi []float64
+}
+
+// NewSamplerSet draws the per-level samplers for the given plan.
+func NewSamplerSet(rng *rand.Rand, pl *Plan, lambda int) *SamplerSet {
+	ss := &SamplerSet{fp: hashing.NewFingerprint(rng), phi: pl.Phi}
+	ss.hs = make([]*hashing.Bernoulli, len(pl.Phi))
+	for i, phi := range pl.Phi {
+		ss.hs[i] = hashing.NewBernoulli(rng, lambda, phi)
+	}
+	return ss
+}
+
+// Sampled reports whether point p is selected at level i (ĥ_i(p) = 1).
+func (ss *SamplerSet) Sampled(p geo.Point, level int) bool {
+	return ss.hs[level].Sample(ss.fp.Key(p))
+}
+
+// PhiAt returns φ_i.
+func (ss *SamplerSet) PhiAt(level int) float64 { return ss.phi[level] }
+
+// ErrAllGuessesFailed is returned when no guess o in the enumeration
+// passes Algorithm 2's FAIL checks (possible only on pathological inputs
+// or absurdly tight budgets).
+var ErrAllGuessesFailed = errors.New("coreset: every guess o FAILed")
+
+// GuessO selects the guess of OPT^{(r)}_{k-clus} the way Theorem 4.5
+// does: obtain a constant-factor estimate Ê ≥ OPT (here k-means++ + Lloyd
+// on a uniform subsample, giving a feasible-solution upper bound) and
+// take o = Ê/4 rounded down to a power of two, so that o ≤ OPT whenever
+// the estimate is within 4× of optimal (k-means++ + Lloyd restarts are
+// comfortably inside that on non-adversarial data; a smaller o only
+// enlarges the coreset, never breaks it). The result is clamped to ≥ 1.
+func GuessO(ps geo.PointSet, p Params, rng *rand.Rand, delta int64) float64 {
+	sample := ps
+	const maxSample = 4000
+	scale := 1.0
+	if len(ps) > maxSample {
+		sample = make(geo.PointSet, maxSample)
+		perm := rng.Perm(len(ps))
+		for i := 0; i < maxSample; i++ {
+			sample[i] = ps[perm[i]]
+		}
+		scale = float64(len(ps)) / float64(maxSample)
+	}
+	est := solve.EstimateOPT(rng, geo.UnitWeights(sample), p.K, p.R, delta, 2) * scale
+	o := est / 4
+	if o < 1 {
+		return 1
+	}
+	return math.Exp2(math.Floor(math.Log2(o)))
+}
+
+// Build runs the offline algorithm of Theorem 3.19 on point set ps.
+//
+// In practical mode the guess o is chosen from a constant-factor OPT
+// estimate (GuessO), doubling while Algorithm 2 FAILs — the guess
+// selection Theorem 4.5 prescribes. In conservative mode the paper's
+// literal enumeration is used: o ∈ {1, 2, 4, ...} up to the trivial bound
+// n·(√d·Δ)^r, returning the smallest non-FAILing guess.
+func Build(ps geo.PointSet, p Params) (*Coreset, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) == 0 {
+		return nil, errors.New("coreset: empty input")
+	}
+	d := ps.Dim()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := grid.New(geo.MaxCoordRange(ps), d, rng)
+	counts := partition.ExactCounts(g, ps)
+	upper := partition.TrivialUpperBoundO(len(ps), g, p.R)
+
+	start := 1.0
+	if !p.Conservative {
+		start = GuessO(ps, p, rng, g.Delta)
+	}
+	for o := start; o <= 2*upper; o *= 2 {
+		part := partition.Build(partition.Input{Grid: g, R: p.R, O: o, Counts: counts})
+		pl := BuildPlan(part, p)
+		if pl.Failed() {
+			continue
+		}
+		cs := sampleOffline(ps, g, part, pl, p, rng)
+		if cs == nil {
+			continue // no parts covered any point (guess absurdly large)
+		}
+		return cs, nil
+	}
+	return nil, ErrAllGuessesFailed
+}
+
+// sampleOffline executes lines 7–12 of Algorithm 2 given a non-FAILing
+// plan: every point of an included part is kept with probability
+// φ_{level} (λ-wise independently) and weight multiplicity/φ_{level}.
+// Points sharing a location are folded into a single weighted point
+// (footnote 4: duplicate points are equivalent to unique tags; sampling
+// the location and scaling the weight by the multiplicity preserves
+// every cost estimator).
+func sampleOffline(ps geo.PointSet, g *grid.Grid, part *partition.Partition,
+	pl *Plan, p Params, rng *rand.Rand) *Coreset {
+
+	ss := NewSamplerSet(rng, pl, p.Lambda(g.Dim, g.L))
+
+	// Deduplicate locations, tracking multiplicities.
+	type entry struct {
+		p geo.Point
+		m int64
+	}
+	seen := make(map[string]int, len(ps))
+	var uniq []entry
+	for _, q := range ps {
+		k := q.String()
+		if i, ok := seen[k]; ok {
+			uniq[i].m++
+			continue
+		}
+		seen[k] = len(uniq)
+		uniq = append(uniq, entry{p: q, m: 1})
+	}
+
+	cs := &Coreset{O: pl.O, Grid: g, Part: part, Plan: pl, Params: p}
+	covered := false
+	for _, e := range uniq {
+		id, ok := part.PartOf(e.p)
+		if !ok {
+			continue
+		}
+		covered = true
+		if !pl.Included[id] {
+			continue
+		}
+		if !ss.Sampled(e.p, id.Level) {
+			continue
+		}
+		w := float64(e.m) / ss.PhiAt(id.Level)
+		cs.Points = append(cs.Points, geo.Weighted{P: e.p, W: w})
+		cs.Levels = append(cs.Levels, id.Level)
+	}
+	if !covered {
+		return nil
+	}
+	return cs
+}
+
+// BuildForO runs Algorithm 2 offline for one fixed guess o (used by
+// experiments that sweep the guess). The returned coreset is nil when the
+// guess FAILs.
+func BuildForO(ps geo.PointSet, p Params, o float64) (*Coreset, *Plan, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ps) == 0 {
+		return nil, nil, errors.New("coreset: empty input")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := grid.New(geo.MaxCoordRange(ps), ps.Dim(), rng)
+	counts := partition.ExactCounts(g, ps)
+	part := partition.Build(partition.Input{Grid: g, R: p.R, O: o, Counts: counts})
+	pl := BuildPlan(part, p)
+	if pl.Failed() {
+		return nil, pl, nil
+	}
+	cs := sampleOffline(ps, g, part, pl, p, rng)
+	return cs, pl, nil
+}
+
+// TheoreticalSizeBound evaluates the poly(ε⁻¹η⁻¹kd log Δ) size bound of
+// Lemma 3.18 (up to its constant): k⁶·d·(k+d^{1.5r})⁵·L¹⁰·log(kdL) /
+// min(ε,η)⁴ — exposed so experiments can report measured size against the
+// theory's n-independent ceiling.
+func (p Params) TheoreticalSizeBound(d, L int) float64 {
+	k := float64(p.K)
+	m := math.Min(p.Eps, p.Eta)
+	return k * k * k * k * k * k * float64(d) * math.Pow(k+d15r(d, p.R), 5) *
+		math.Pow(float64(L), 10) * math.Log(float64(p.K*d*L)+1) / (m * m * m * m)
+}

@@ -1,0 +1,78 @@
+package coreset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LevelDiag summarizes one grid level of a built coreset: how the
+// heavy-cell partition, the part-inclusion rule and the sampling rate
+// played out there. These are the quantities to look at when a sketch
+// budget FAILs or a coreset is larger than expected.
+type LevelDiag struct {
+	Level         int
+	ThresholdT    float64 // T_i(o)
+	Parts         int     // parts Q_{i,j} at this level
+	IncludedParts int     // parts with τ ≥ γ·T_i(o)
+	Mass          float64 // Σ τ(Q_{i,j}) at this level
+	Phi           float64 // sampling rate φ_i
+	Samples       int     // coreset points drawn from this level
+	Weight        float64 // total coreset weight carried by this level
+}
+
+// Diagnostics is the per-level breakdown of a construction.
+type Diagnostics struct {
+	O          float64
+	Gamma      float64
+	HeavyCells int
+	Levels     []LevelDiag
+}
+
+// Diagnostics computes the breakdown. It requires the partition metadata
+// (present on coresets built by this package; absent on decoded Portable
+// forms).
+func (c *Coreset) Diagnostics() (Diagnostics, error) {
+	if c.Part == nil || c.Plan == nil {
+		return Diagnostics{}, fmt.Errorf("coreset: no partition metadata to diagnose")
+	}
+	d := Diagnostics{O: c.O, Gamma: c.Plan.Gamma, HeavyCells: c.Part.HeavyCount()}
+	L := c.Grid.L
+	d.Levels = make([]LevelDiag, L+1)
+	for i := 0; i <= L; i++ {
+		d.Levels[i] = LevelDiag{
+			Level:      i,
+			ThresholdT: c.Part.ThresholdT(i),
+			Phi:        c.Plan.Phi[i],
+		}
+	}
+	for id, pt := range c.Part.Parts {
+		ld := &d.Levels[id.Level]
+		ld.Parts++
+		ld.Mass += pt.Tau
+		if c.Plan.Included[id] {
+			ld.IncludedParts++
+		}
+	}
+	for i, lv := range c.Levels {
+		d.Levels[lv].Samples++
+		d.Levels[lv].Weight += c.Points[i].W
+	}
+	return d, nil
+}
+
+// String renders the diagnostics as an aligned table (levels with no
+// parts and no samples are elided).
+func (d Diagnostics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "accepted o = %.4g, γ = %.4g, heavy cells = %d\n", d.O, d.Gamma, d.HeavyCells)
+	fmt.Fprintf(&sb, "%5s %12s %7s %9s %12s %8s %9s %12s\n",
+		"level", "T_i(o)", "parts", "included", "mass", "φ_i", "samples", "weight")
+	for _, ld := range d.Levels {
+		if ld.Parts == 0 && ld.Samples == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%5d %12.4g %7d %9d %12.4g %8.3g %9d %12.4g\n",
+			ld.Level, ld.ThresholdT, ld.Parts, ld.IncludedParts, ld.Mass, ld.Phi, ld.Samples, ld.Weight)
+	}
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package coreset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnostics(t *testing.T) {
+	ps, _ := mixture(91, 3000)
+	cs, err := Build(ps, Params{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cs.Diagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.O != cs.O || d.HeavyCells <= 0 {
+		t.Fatalf("diag header: %+v", d)
+	}
+	var parts, included, samples int
+	var weight float64
+	for _, ld := range d.Levels {
+		parts += ld.Parts
+		included += ld.IncludedParts
+		samples += ld.Samples
+		weight += ld.Weight
+		if ld.Phi < 0 || ld.Phi > 1 {
+			t.Fatalf("level %d: φ=%v", ld.Level, ld.Phi)
+		}
+		if ld.IncludedParts > ld.Parts {
+			t.Fatalf("level %d: included %d > parts %d", ld.Level, ld.IncludedParts, ld.Parts)
+		}
+	}
+	if parts != len(cs.Part.Parts) {
+		t.Fatalf("parts %d vs %d", parts, len(cs.Part.Parts))
+	}
+	if samples != cs.Size() {
+		t.Fatalf("samples %d vs size %d", samples, cs.Size())
+	}
+	if diff := weight - cs.TotalWeight(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("weight %v vs %v", weight, cs.TotalWeight())
+	}
+	s := d.String()
+	for _, want := range []string{"accepted o", "level", "φ_i"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDiagnosticsNoMetadata(t *testing.T) {
+	cs := &Coreset{}
+	if _, err := cs.Diagnostics(); err == nil {
+		t.Fatal("expected error without partition metadata")
+	}
+}

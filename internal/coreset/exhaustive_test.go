@@ -1,0 +1,128 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+)
+
+// TestStrongCoresetExhaustiveTinyDomain verifies the strong (η, ε)-coreset
+// definition EXACTLY — quantifying over every center set Z ⊂ [Δ]^d with
+// |Z| = k and every capacity t ≥ n/k — on a domain small enough to
+// enumerate. This is the literal Theorem 3.19 statement, not a sampled
+// check: on [16]¹ with k = 2 there are 120 center sets and a handful of
+// capacities, and the optimal capacitated assignments are computed by
+// min-cost flow on both sides.
+func TestStrongCoresetExhaustiveTinyDomain(t *testing.T) {
+	const delta = 16
+	// A 1-d input with duplicated mass (so the coreset genuinely
+	// compresses via multiplicity folding) plus spread.
+	var ps geo.PointSet
+	for _, site := range []struct {
+		x int64
+		m int
+	}{{2, 14}, {3, 8}, {5, 4}, {9, 10}, {10, 12}, {14, 6}, {15, 2}} {
+		for i := 0; i < site.m; i++ {
+			ps = append(ps, geo.Point{site.x})
+		}
+	}
+	n := len(ps)
+	const eps, eta = 0.3, 0.3
+	cs, err := Build(ps, Params{K: 2, Eps: eps, Eta: eta, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Size() > 7 {
+		t.Fatalf("coreset %d > 7 distinct sites", cs.Size())
+	}
+	ws := geo.UnitWeights(ps)
+
+	worstUp, worstDown := 0.0, 0.0
+	for a := int64(1); a <= delta; a++ {
+		for b := a + 1; b <= delta; b++ {
+			Z := []geo.Point{{a}, {b}}
+			for _, t0 := range []float64{float64(n)/2 + 1, float64(n) * 0.6, float64(n) * 0.8, float64(n)} {
+				full, _, ok1 := assign.FractionalCost(ws, Z, t0, 2)
+				core, _, ok2 := assign.FractionalCost(cs.Points, Z, (1+eta)*t0, 2)
+				fullRelaxed, _, ok3 := assign.FractionalCost(ws, Z, (1+eta)*(1+eta)*t0, 2)
+				if !ok1 || !ok2 || !ok3 {
+					t.Fatalf("infeasible at Z=%v t=%v", Z, t0)
+				}
+				if full > 0 {
+					if r := core / full; r > worstUp {
+						worstUp = r
+					}
+				} else if core > 1e-9 {
+					t.Fatalf("zero-cost instance mis-estimated: Z=%v core=%v", Z, core)
+				}
+				if core > 0 {
+					if r := fullRelaxed / core; r > worstDown {
+						worstDown = r
+					}
+				}
+			}
+		}
+	}
+	// The exact Theorem 3.19 bounds with ε = 0.3.
+	if worstUp > 1+eps {
+		t.Fatalf("up direction violated: worst ratio %v > 1+ε", worstUp)
+	}
+	if worstDown > 1+eps {
+		t.Fatalf("down direction violated: worst ratio %v > 1+ε", worstDown)
+	}
+	t.Logf("exhaustive check over 120 center sets × 4 capacities: worst up %.4f, worst down %.4f",
+		worstUp, worstDown)
+}
+
+// TestStrongCoresetExhaustive2D repeats the exhaustive check on a tiny
+// 2-d domain ([6]²: 630 center pairs), with a genuinely sampled coreset.
+func TestStrongCoresetExhaustive2D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive flow sweep")
+	}
+	const delta = 6
+	var ps geo.PointSet
+	// Two corners with mass, a sprinkle elsewhere.
+	for i := 0; i < 30; i++ {
+		ps = append(ps, geo.Point{1 + int64(i%2), 1 + int64(i%3)})
+	}
+	for i := 0; i < 30; i++ {
+		ps = append(ps, geo.Point{5 + int64(i%2), 5 - int64(i%2)})
+	}
+	ps = append(ps, geo.Point{3, 3}, geo.Point{4, 2}, geo.Point{2, 5})
+	n := len(ps)
+	const eps, eta = 0.3, 0.3
+	cs, err := Build(ps, Params{K: 2, Eps: eps, Eta: eta, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := geo.UnitWeights(ps)
+	var all geo.PointSet
+	for x := int64(1); x <= delta; x++ {
+		for y := int64(1); y <= delta; y++ {
+			all = append(all, geo.Point{x, y})
+		}
+	}
+	worst := 0.0
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			Z := []geo.Point{all[i], all[j]}
+			t0 := math.Ceil(float64(n) * 0.6)
+			full, _, ok1 := assign.FractionalCost(ws, Z, t0, 2)
+			core, _, ok2 := assign.FractionalCost(cs.Points, Z, (1+eta)*t0, 2)
+			if !ok1 || !ok2 {
+				t.Fatalf("infeasible at Z=%v", Z)
+			}
+			if full > 0 {
+				if r := core / full; r > worst {
+					worst = r
+				}
+			}
+		}
+	}
+	if worst > 1+eps {
+		t.Fatalf("exhaustive 2-d up direction violated: worst %v", worst)
+	}
+}

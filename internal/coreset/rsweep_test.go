@@ -1,0 +1,75 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+)
+
+// The coreset theorems hold for every constant r ≥ 1; the default tests
+// exercise r = 2 (capacitated k-means). This sweep checks r = 1
+// (capacitated k-median, the hyperbola-separation regime of Figure 3)
+// and r = 3.
+func TestCoresetQualityAcrossR(t *testing.T) {
+	ps, truec := mixture(71, 6000)
+	ws := geo.UnitWeights(ps)
+	for _, r := range []float64{1, 3} {
+		cs, err := Build(ps, Params{K: 4, R: r, Seed: 8})
+		if err != nil {
+			t.Fatalf("r=%v: %v", r, err)
+		}
+		if w := cs.TotalWeight(); math.Abs(w-float64(len(ps))) > 0.1*float64(len(ps)) {
+			t.Fatalf("r=%v: weight %v", r, w)
+		}
+		full := assign.UnconstrainedCost(ws, truec, r)
+		core := assign.UnconstrainedCost(cs.Points, truec, r)
+		if ratio := core / full; ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("r=%v: unconstrained cost ratio %v", r, ratio)
+		}
+	}
+}
+
+func TestCoresetCapacitatedKMedian(t *testing.T) {
+	// Capacitated cost fidelity under r = 1 on a flow-tractable instance.
+	ps, truec := mixture(72, 1500)
+	ws := geo.UnitWeights(ps)
+	cs, err := Build(ps, Params{K: 4, R: 1, Eta: 0.25, Eps: 0.25, Seed: 9, SamplesPerPart: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(len(ps))
+	for _, tf := range []float64{1.1, 2.0} {
+		tcap := tf * n / 4
+		full, _, ok1 := assign.FractionalCost(ws, truec, tcap, 1)
+		core, _, ok2 := assign.FractionalCost(cs.Points, truec, 1.25*tcap, 1)
+		if !ok1 || !ok2 {
+			t.Fatalf("infeasible at tf=%v", tf)
+		}
+		if core > 1.35*full {
+			t.Fatalf("tf=%v: k-median coreset cost %v ≫ full %v", tf, core, full)
+		}
+		fullRelaxed, _, _ := assign.FractionalCost(ws, truec, 1.25*1.25*tcap, 1)
+		if fullRelaxed > 1.35*core {
+			t.Fatalf("tf=%v: reverse direction %v ≫ %v", tf, fullRelaxed, core)
+		}
+	}
+}
+
+func TestThresholdScalingAcrossR(t *testing.T) {
+	// T_i(o) = 0.01·o/(√d·g_i)^r doubles per level for r=1 and quadruples
+	// for r=2 — the level geometry the sampling rates key off.
+	ps, _ := mixture(73, 200)
+	cs1, err := Build(ps, Params{K: 3, R: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := cs1.Part
+	for i := 0; i+1 <= part.Grid.L; i++ {
+		ratio := part.ThresholdT(i+1) / part.ThresholdT(i)
+		if math.Abs(ratio-2) > 1e-9 {
+			t.Fatalf("r=1 threshold ratio at level %d: %v, want 2", i, ratio)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package coreset
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"streambalance/internal/geo"
+)
+
+// Portable is the serializable subset of a Coreset: the weighted points
+// plus the metadata a downstream consumer needs to interpret them
+// (domain bounds, clustering parameters, the accepted guess). The
+// partition/plan metadata backing BuildAssignmentRule is deliberately
+// NOT serialized — it is bound to the in-process hash functions; a
+// consumer that needs the Section 3.3 rule rebuilds it next to the
+// construction.
+type Portable struct {
+	Version int
+	Points  []geo.Weighted
+	Levels  []int
+	O       float64
+	K       int
+	R       float64
+	Eps     float64
+	Eta     float64
+	Delta   int64
+	Dim     int
+}
+
+const portableVersion = 1
+
+// Export extracts the portable form.
+func (c *Coreset) Export() Portable {
+	p := Portable{
+		Version: portableVersion,
+		Points:  c.Points,
+		Levels:  c.Levels,
+		O:       c.O,
+		K:       c.Params.K,
+		R:       c.Params.R,
+		Eps:     c.Params.Eps,
+		Eta:     c.Params.Eta,
+	}
+	if c.Grid != nil {
+		p.Delta = c.Grid.Delta
+		p.Dim = c.Grid.Dim
+	}
+	return p
+}
+
+// Encode writes the coreset's portable form to w (gob-encoded).
+func (c *Coreset) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c.Export())
+}
+
+// Decode reads a portable coreset written by Encode.
+func Decode(r io.Reader) (Portable, error) {
+	var p Portable
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return Portable{}, err
+	}
+	if p.Version != portableVersion {
+		return Portable{}, fmt.Errorf("coreset: unsupported version %d", p.Version)
+	}
+	if err := p.Validate(); err != nil {
+		return Portable{}, err
+	}
+	return p, nil
+}
+
+// Validate checks internal consistency of a decoded coreset.
+func (p Portable) Validate() error {
+	if p.K < 1 {
+		return errors.New("coreset: portable form has K < 1")
+	}
+	if len(p.Levels) != 0 && len(p.Levels) != len(p.Points) {
+		return errors.New("coreset: levels/points length mismatch")
+	}
+	for i, wp := range p.Points {
+		if wp.W <= 0 {
+			return fmt.Errorf("coreset: nonpositive weight at index %d", i)
+		}
+		if p.Dim > 0 && len(wp.P) != p.Dim {
+			return fmt.Errorf("coreset: point %d has dimension %d, want %d", i, len(wp.P), p.Dim)
+		}
+		if p.Delta > 0 && !wp.P.InRange(p.Delta) {
+			return fmt.Errorf("coreset: point %d out of range", i)
+		}
+	}
+	return nil
+}
+
+// encodeRaw gob-encodes a Portable without version stamping — used only
+// by tests that need to craft invalid payloads.
+func encodeRaw(w io.Writer, p Portable) error {
+	return gob.NewEncoder(w).Encode(p)
+}

@@ -1,0 +1,85 @@
+package coreset
+
+import (
+	"bytes"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ps, _ := mixture(41, 1500)
+	cs, err := Build(ps, Params{K: 3, Seed: 4, SamplesPerPart: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != cs.Size() || p.O != cs.O || p.K != 3 {
+		t.Fatalf("round trip lost data: %d/%v/%d", len(p.Points), p.O, p.K)
+	}
+	for i := range p.Points {
+		if !p.Points[i].P.Equal(cs.Points[i].P) || p.Points[i].W != cs.Points[i].W {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	if p.Delta != cs.Grid.Delta || p.Dim != 2 {
+		t.Fatalf("metadata lost: Δ=%d dim=%d", p.Delta, p.Dim)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestPortableValidate(t *testing.T) {
+	good := Portable{Version: 1, K: 2, Dim: 2, Delta: 16,
+		Points: []geo.Weighted{{P: geo.Point{1, 2}, W: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Points = []geo.Weighted{{P: geo.Point{1, 2}, W: -1}}
+	if bad.Validate() == nil {
+		t.Fatal("negative weight must fail")
+	}
+	bad = good
+	bad.Points = []geo.Weighted{{P: geo.Point{1}, W: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	bad = good
+	bad.Points = []geo.Weighted{{P: geo.Point{1, 99}, W: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range must fail")
+	}
+	bad = good
+	bad.K = 0
+	if bad.Validate() == nil {
+		t.Fatal("K=0 must fail")
+	}
+	bad = good
+	bad.Levels = []int{1, 2, 3}
+	if bad.Validate() == nil {
+		t.Fatal("levels mismatch must fail")
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	p := Portable{Version: 99, K: 1}
+	if err := encodeRaw(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("wrong version must error")
+	}
+}

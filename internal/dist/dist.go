@@ -1,0 +1,365 @@
+// Package dist implements the distributed coreset protocol of Theorem 4.7
+// in the coordinator model of [KVW14, WZ16, ...]: s machines each hold a
+// subset of the input; communication flows only between machines and the
+// coordinator; the goal is a strong capacitated-clustering coreset at the
+// coordinator with total communication s·poly(ε⁻¹η⁻¹kd log Δ) bits.
+//
+// The protocol simulates Algorithm 4 (Lemma 4.6 replaces the Storing
+// sketches with exact local computation):
+//
+//	Round 1 (up):   each machine sends a small uniform sample of its local
+//	                points — the coordinator's stand-in for the distributed
+//	                2-approximation of OPT the paper cites ([FL11, BFL+17,
+//	                HSYZ18]); see DESIGN.md §1.
+//	Round 1 (down): the coordinator broadcasts the guess o, the random
+//	                grid shift, and the hash seeds, so all machines sample
+//	                the identical substreams.
+//	Round 2 (up):   per level, each machine sends its local non-empty-cell
+//	                counts for the h and h′ substreams and its locally
+//	                ĥ-sampled points — or a 1-bit FAIL when a local cap is
+//	                exceeded (Lemma 4.6's contract). The coordinator merges
+//	                counts exactly, runs Algorithms 1–2 (consulting only
+//	                levels that can matter), and assembles the coreset.
+//
+// Every message is metered in bits; Report carries the totals.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+	"streambalance/internal/partition"
+	"streambalance/internal/solve"
+)
+
+// Config configures the distributed protocol.
+type Config struct {
+	Delta  int64
+	Dim    int
+	Params coreset.Params
+
+	O float64 // optional: fixed guess; 0 = estimate in round 1
+
+	// Per-machine, per-level caps (Lemma 4.6's α and β): a machine whose
+	// local message would exceed a cap sends FAIL for that level instead.
+	CellCap  int // default 4096
+	PointCap int // default 8192
+
+	// Sampling calibration, identical to the streaming instance.
+	CountRate float64 // default 256
+	PartRate  float64 // default 64
+
+	SampleSize int // round-1 per-machine sample for the OPT estimate (default 200)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	var err error
+	c.Params, err = c.Params.Resolve()
+	if err != nil {
+		return c, err
+	}
+	if c.Dim < 1 {
+		return c, errors.New("dist: Dim must be >= 1")
+	}
+	if c.Delta < 1 {
+		return c, errors.New("dist: Delta must be >= 1")
+	}
+	d := int64(1)
+	for d < c.Delta {
+		d <<= 1
+	}
+	c.Delta = d
+	if c.CellCap == 0 {
+		c.CellCap = 4096
+	}
+	if c.PointCap == 0 {
+		c.PointCap = 8192
+	}
+	if c.CountRate == 0 {
+		c.CountRate = 256
+	}
+	if c.PartRate == 0 {
+		c.PartRate = 64
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 200
+	}
+	return c, nil
+}
+
+// Report is the outcome of a protocol run.
+type Report struct {
+	Coreset *coreset.Coreset
+	Bits    int64            // total communication in bits
+	ByPhase map[string]int64 // bits per protocol phase
+	Rounds  int              // communication rounds (2)
+	O       float64          // the guess used
+}
+
+// bit costs
+func pointBits(dim int, delta int64) int64 {
+	return int64(dim) * int64(math.Ceil(math.Log2(float64(delta)+1)))
+}
+
+func cellBits(dim int, delta int64) int64 {
+	// cell index (one per coordinate, range < 2Δ) + a 32-bit count
+	return int64(dim)*int64(math.Ceil(math.Log2(float64(2*delta)+1))) + 32
+}
+
+// levelMsg is one machine's per-level, per-substream message.
+type levelMsg struct {
+	fail  bool
+	cells map[uint64]partition.CellTau // merged key → (index, local count)
+}
+
+// pointsMsg is one machine's per-level ĥ message.
+type pointsMsg struct {
+	fail bool
+	pts  []geo.Point // locally sampled points (with multiplicity as repeats)
+}
+
+// Run executes the protocol over the machines' local point sets.
+func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(machines) == 0 {
+		return nil, errors.New("dist: no machines")
+	}
+	p := cfg.Params
+	rep := &Report{ByPhase: map[string]int64{}, Rounds: 2}
+	charge := func(phase string, bits int64) {
+		rep.ByPhase[phase] += bits
+		rep.Bits += bits
+	}
+
+	// ---- Round 1 up: per-machine samples for the OPT estimate. ----
+	rng := rand.New(rand.NewSource(p.Seed))
+	var sample geo.PointSet
+	var total int64
+	for _, m := range machines {
+		total += int64(len(m))
+		k := cfg.SampleSize
+		if k > len(m) {
+			k = len(m)
+		}
+		perm := rng.Perm(len(m))
+		for i := 0; i < k; i++ {
+			sample = append(sample, m[perm[i]])
+		}
+		charge("round1-sample", int64(k)*pointBits(cfg.Dim, cfg.Delta)+64)
+	}
+	if total == 0 {
+		return nil, errors.New("dist: empty input")
+	}
+
+	o := cfg.O
+	if o <= 0 {
+		est := solve.EstimateOPT(rng, geo.UnitWeights(sample), p.K, p.R, cfg.Delta, 2) *
+			float64(total) / float64(len(sample))
+		o = est / 4
+		if o < 1 {
+			o = 1
+		}
+		o = math.Exp2(math.Floor(math.Log2(o)))
+	}
+	rep.O = o
+
+	// ---- Round 1 down: broadcast shift, seeds, o. ----
+	g := grid.New(cfg.Delta, cfg.Dim, rng)
+	L := g.L
+	gamma := p.Gamma(g.Dim, L)
+	lambda := p.Lambda(g.Dim, L)
+	fp := hashing.NewFingerprint(rng)
+	psi := make([]float64, L+1)
+	psiP := make([]float64, L+1)
+	phi := make([]float64, L+1)
+	hSamp := make([]*hashing.Bernoulli, L+1)
+	hpSamp := make([]*hashing.Bernoulli, L+1)
+	hatSamp := make([]*hashing.Bernoulli, L+1)
+	for i := 0; i <= L; i++ {
+		T := partition.ThresholdT(g, i, o, p.R)
+		psi[i] = math.Min(1, cfg.CountRate/T)
+		psiP[i] = math.Min(1, cfg.PartRate/(gamma*T))
+		phi[i] = p.Phi(T, g.Dim, L)
+		hSamp[i] = hashing.NewBernoulli(rng, lambda, psi[i])
+		hpSamp[i] = hashing.NewBernoulli(rng, lambda, psiP[i])
+		hatSamp[i] = hashing.NewBernoulli(rng, lambda, phi[i])
+	}
+	// Shift (d·logΔ bits) + 3(L+1) hash seeds (λ coefficients each) + o,
+	// broadcast to every machine.
+	seedBits := int64(cfg.Dim)*int64(g.L) + int64(3*(L+1)*lambda)*61 + 64
+	charge("round1-broadcast", seedBits*int64(len(machines)))
+
+	// ---- Round 2 up: per-machine local summaries. ----
+	collect := func(m geo.PointSet, samp []*hashing.Bernoulli, level int, rate float64) levelMsg {
+		cells := map[uint64]partition.CellTau{}
+		for _, q := range m {
+			if rate < 1 && !samp[level].Sample(fp.Key(q)) {
+				continue
+			}
+			key := g.CellKey(q, level)
+			ct, ok := cells[key]
+			if !ok {
+				ct = partition.CellTau{Index: g.CellIndex(q, level)}
+			}
+			ct.Tau++
+			cells[key] = ct
+			if len(cells) > cfg.CellCap {
+				return levelMsg{fail: true}
+			}
+		}
+		return levelMsg{cells: cells}
+	}
+
+	// The machines compute their local summaries independently — run them
+	// on separate goroutines (this is exactly the parallelism the
+	// coordinator model grants for free); the coordinator then meters the
+	// messages serially.
+	hMsgs := make([][]levelMsg, len(machines))    // [machine][level]
+	hpMsgs := make([][]levelMsg, len(machines))   // [machine][level]
+	hatMsgs := make([][]pointsMsg, len(machines)) // [machine][level]
+	var wg sync.WaitGroup
+	for mi := range machines {
+		wg.Add(1)
+		go func(mi int, m geo.PointSet) {
+			defer wg.Done()
+			hMsgs[mi] = make([]levelMsg, L+1)
+			hpMsgs[mi] = make([]levelMsg, L+1)
+			hatMsgs[mi] = make([]pointsMsg, L+1)
+			for i := 0; i <= L; i++ {
+				if i <= L-1 {
+					hMsgs[mi][i] = collect(m, hSamp, i, psi[i])
+				}
+				hpMsgs[mi][i] = collect(m, hpSamp, i, psiP[i])
+				var pm pointsMsg
+				for _, q := range m {
+					if phi[i] < 1 && !hatSamp[i].Sample(fp.Key(q)) {
+						continue
+					}
+					pm.pts = append(pm.pts, q)
+					if len(pm.pts) > cfg.PointCap {
+						pm = pointsMsg{fail: true}
+						break
+					}
+				}
+				hatMsgs[mi][i] = pm
+			}
+		}(mi, machines[mi])
+	}
+	wg.Wait()
+	for mi := range machines {
+		for i := 0; i <= L; i++ {
+			if i <= L-1 {
+				if hMsgs[mi][i].fail {
+					charge("round2-h", 1)
+				} else {
+					charge("round2-h", int64(len(hMsgs[mi][i].cells))*cellBits(cfg.Dim, cfg.Delta)+1)
+				}
+			}
+			if hpMsgs[mi][i].fail {
+				charge("round2-hp", 1)
+			} else {
+				charge("round2-hp", int64(len(hpMsgs[mi][i].cells))*cellBits(cfg.Dim, cfg.Delta)+1)
+			}
+			if hatMsgs[mi][i].fail {
+				charge("round2-hat", 1)
+			} else {
+				charge("round2-hat", int64(len(hatMsgs[mi][i].pts))*pointBits(cfg.Dim, cfg.Delta)+1)
+			}
+		}
+		charge("round2-count", 64) // local |Q^{(j)}| for the exact total
+	}
+
+	// ---- Coordinator: merge and run Algorithms 1–2. ----
+	merge := func(msgs [][]levelMsg, level int, rate float64) (map[uint64]partition.CellTau, bool) {
+		out := map[uint64]partition.CellTau{}
+		for mi := range msgs {
+			lm := msgs[mi][level]
+			if lm.fail {
+				return nil, false
+			}
+			for key, ct := range lm.cells {
+				cur, ok := out[key]
+				if !ok {
+					cur = partition.CellTau{Index: ct.Index}
+				}
+				cur.Tau += ct.Tau
+				out[key] = cur
+			}
+		}
+		for key, ct := range out {
+			ct.Tau /= rate
+			out[key] = ct
+		}
+		return out, true
+	}
+
+	rootCell := partition.CellTau{Index: make([]int64, g.Dim), Tau: float64(total)}
+	root := map[uint64]partition.CellTau{g.KeyOf(-1, rootCell.Index): rootCell}
+	counts := func(level int) (map[uint64]partition.CellTau, bool) {
+		if level == -1 {
+			return root, true
+		}
+		return merge(hMsgs, level, psi[level])
+	}
+	partCounts := func(level int) (map[uint64]partition.CellTau, bool) {
+		if level == -1 {
+			return root, true
+		}
+		return merge(hpMsgs, level, psiP[level])
+	}
+	part, err := partition.BuildLazy(g, p.R, o, counts, partCounts)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w (a machine exceeded its level cap)", err)
+	}
+	pl := coreset.BuildPlan(part, p)
+	if pl.Failed() {
+		return nil, fmt.Errorf("dist: plan FAILed: %s", pl.FailWhy)
+	}
+
+	needLevel := make([]bool, L+1)
+	for id := range pl.Included {
+		needLevel[id.Level] = true
+	}
+	cs := &coreset.Coreset{O: o, Grid: g, Part: part, Plan: pl, Params: p}
+	for i := 0; i <= L; i++ {
+		if !needLevel[i] {
+			continue
+		}
+		// Merge ĥ points of level i (with multiplicity).
+		agg := map[string]struct {
+			p geo.Point
+			m int64
+		}{}
+		for mi := range hatMsgs {
+			pm := hatMsgs[mi][i]
+			if pm.fail {
+				return nil, fmt.Errorf("dist: machine %d exceeded point cap at level %d", mi, i)
+			}
+			for _, q := range pm.pts {
+				e := agg[q.String()]
+				e.p, e.m = q, e.m+1
+				agg[q.String()] = e
+			}
+		}
+		for _, e := range agg {
+			id, ok := part.PartOf(e.p)
+			if !ok || id.Level != i || !pl.Included[id] {
+				continue
+			}
+			cs.Points = append(cs.Points, geo.Weighted{P: e.p, W: float64(e.m) / phi[i]})
+			cs.Levels = append(cs.Levels, i)
+		}
+	}
+	rep.Coreset = cs
+	return rep, nil
+}

@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/solve"
+	"streambalance/internal/workload"
+)
+
+const testDelta = 1 << 10
+
+func splitAcross(ps geo.PointSet, s int, rng *rand.Rand) []geo.PointSet {
+	machines := make([]geo.PointSet, s)
+	for _, p := range ps {
+		j := rng.Intn(s)
+		machines[j] = append(machines[j], p)
+	}
+	return machines
+}
+
+func testMixture(seed int64, n int) (geo.PointSet, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	m := workload.Mixture{N: n, D: 2, Delta: testDelta, K: 3, Spread: 8, Skew: 2, NoiseFrac: 0.05}
+	return m.Generate(rng)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run([]geo.PointSet{{geo.Point{1, 1}}}, Config{Dim: 0, Delta: 16, Params: coreset.Params{K: 2}}); err == nil {
+		t.Fatal("Dim=0 must error")
+	}
+	if _, err := Run(nil, Config{Dim: 2, Delta: 16, Params: coreset.Params{K: 2}}); err == nil {
+		t.Fatal("no machines must error")
+	}
+	if _, err := Run([]geo.PointSet{{}}, Config{Dim: 2, Delta: 16, Params: coreset.Params{K: 2}}); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestDistributedCoresetQuality(t *testing.T) {
+	ps, truec := testMixture(1, 4000)
+	rng := rand.New(rand.NewSource(2))
+	machines := splitAcross(ps, 4, rng)
+	rep, err := Run(machines, Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Coreset
+	if cs.Size() == 0 || cs.Size() >= len(ps) {
+		t.Fatalf("coreset size %d of n=%d", cs.Size(), len(ps))
+	}
+	if w := cs.TotalWeight(); math.Abs(w-float64(len(ps))) > 0.15*float64(len(ps)) {
+		t.Fatalf("total weight %v vs n=%d", w, len(ps))
+	}
+	ws := geo.UnitWeights(ps)
+	rng2 := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 4; trial++ {
+		Z := truec
+		if trial > 0 {
+			Z = solve.SeedKMeansPP(rng2, ws, 3, 2)
+		}
+		full := assign.UnconstrainedCost(ws, Z, 2)
+		core := assign.UnconstrainedCost(cs.Points, Z, 2)
+		if ratio := core / full; ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("trial %d: cost ratio %v", trial, ratio)
+		}
+	}
+}
+
+func TestCommunicationAccounting(t *testing.T) {
+	ps, _ := testMixture(4, 3000)
+	rng := rand.New(rand.NewSource(5))
+	machines := splitAcross(ps, 3, rng)
+	rep, err := Run(machines, Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bits <= 0 {
+		t.Fatal("bits must be positive")
+	}
+	if rep.Rounds != 2 {
+		t.Fatalf("rounds = %d", rep.Rounds)
+	}
+	var sum int64
+	for _, b := range rep.ByPhase {
+		sum += b
+	}
+	if sum != rep.Bits {
+		t.Fatalf("phase bits %d != total %d", sum, rep.Bits)
+	}
+	for _, phase := range []string{"round1-sample", "round1-broadcast", "round2-h", "round2-hp", "round2-hat"} {
+		if rep.ByPhase[phase] <= 0 {
+			t.Fatalf("phase %s has no accounted bits", phase)
+		}
+	}
+}
+
+func TestCommunicationScalesWithMachinesNotN(t *testing.T) {
+	// Theorem 4.7: communication is s·poly(kd log Δ), independent of n.
+	// Growing n by 4× must grow the bits far less than 4× (the sampling
+	// rates fall as 1/T_i(o) ∝ 1/n); growing s grows bits at most
+	// linearly (the broadcast term).
+	rng := rand.New(rand.NewSource(8))
+	cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 9}}
+
+	psSmall, _ := testMixture(7, 4000)
+	psBig, _ := testMixture(7, 16000)
+	repSmall, err := Run(splitAcross(psSmall, 4, rng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBig, err := Run(splitAcross(psBig, 4, rng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growth := float64(repBig.Bits) / float64(repSmall.Bits); growth > 3.2 {
+		t.Fatalf("communication grew %.2f× for a 4× larger input (%d → %d bits)",
+			growth, repSmall.Bits, repBig.Bits)
+	}
+
+	rep2, err := Run(splitAcross(psSmall, 2, rng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := Run(splitAcross(psSmall, 8, rng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep8.Bits <= rep2.Bits {
+		t.Fatalf("more machines should cost more broadcast bits: s=2 %d vs s=8 %d", rep2.Bits, rep8.Bits)
+	}
+	if rep8.Bits > rep2.Bits*8 {
+		t.Fatalf("communication grew superlinearly in s: %d → %d", rep2.Bits, rep8.Bits)
+	}
+}
+
+func TestSingleMachineMatchesQualityOfMany(t *testing.T) {
+	ps, truec := testMixture(10, 2500)
+	rng := rand.New(rand.NewSource(11))
+	cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 12}}
+	rep1, err := Run([]geo.PointSet{ps}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep6, err := Run(splitAcross(ps, 6, rng), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := geo.UnitWeights(ps)
+	full := assign.UnconstrainedCost(ws, truec, 2)
+	for name, rep := range map[string]*Report{"s=1": rep1, "s=6": rep6} {
+		core := assign.UnconstrainedCost(rep.Coreset.Points, truec, 2)
+		if ratio := core / full; ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("%s: cost ratio %v", name, ratio)
+		}
+	}
+}
+
+func TestFixedOMatchesEstimatedO(t *testing.T) {
+	ps, _ := testMixture(13, 2000)
+	rng := rand.New(rand.NewSource(14))
+	machines := splitAcross(ps, 3, rng)
+	repAuto, err := Run(machines, Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFixed, err := Run(machines, Config{Dim: 2, Delta: testDelta, O: repAuto.O, Params: coreset.Params{K: 3, Seed: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFixed.O != repAuto.O {
+		t.Fatalf("fixed O not honored: %v vs %v", repFixed.O, repAuto.O)
+	}
+}
+
+func TestTightCapsFailCleanly(t *testing.T) {
+	ps, _ := testMixture(16, 3000)
+	rng := rand.New(rand.NewSource(17))
+	machines := splitAcross(ps, 2, rng)
+	_, err := Run(machines, Config{
+		Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 18},
+		CellCap: 2, PointCap: 2,
+	})
+	if err == nil {
+		t.Fatal("starved caps must FAIL, not fabricate a coreset")
+	}
+}
+
+func TestSkewedMachineSplit(t *testing.T) {
+	// One machine holds 90% of the data; quality must not degrade.
+	ps, truec := testMixture(19, 3000)
+	machines := []geo.PointSet{ps[:2700], ps[2700:]}
+	rep, err := Run(machines, Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := geo.UnitWeights(ps)
+	full := assign.UnconstrainedCost(ws, truec, 2)
+	core := assign.UnconstrainedCost(rep.Coreset.Points, truec, 2)
+	if ratio := core / full; ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("skewed split: cost ratio %v", ratio)
+	}
+}

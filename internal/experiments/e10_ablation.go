@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/baseline"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+)
+
+// E10Ablation probes the design choices DESIGN.md calls out: the
+// heavy-cell partition (vs. structure-free uniform sampling at equal
+// size), the per-part sampling budget, and the sensitivity to the guess o
+// (the analysis requires o ≤ OPT; o far below only wastes samples, o far
+// above loses coverage). Quality is measured by the capacitated cost
+// ratio at the true centers (coreset side evaluated at the η-relaxed
+// capacity 1.1t, per the coreset definition with η = 0.1) and by the
+// unconstrained cost ratio.
+func E10Ablation(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k = 4
+	const eta = 0.1
+	n := c.n(1800)
+	ps, truec := stdMixture(c.Seed, n, k)
+	ws := geo.UnitWeights(ps)
+	tcap := 1.3 * float64(n) / k
+	fullCap, _, okF := assign.FractionalCost(ws, truec, tcap, 2)
+	if !okF {
+		panic("E10: full instance infeasible")
+	}
+
+	tb := metrics.New("E10", "ablations: partition, sampling budget, guess sensitivity",
+		"variant", "size", "Σw'/n", "cap. cost ratio", "unc. cost ratio")
+	tb.Note = fmt.Sprintf("n=%d, t=1.3·n/k, η=0.1; ratios vs exact full-data costs at true centers", n)
+
+	fullUnc := assign.UnconstrainedCost(ws, truec, 2)
+	addRow := func(name string, core []geo.Weighted) {
+		capCost, _, ok := assign.FractionalCost(core, truec, tcap*(1+eta), 2)
+		capStr := "inf"
+		if ok {
+			capStr = fmt.Sprintf("%.3f", capCost/fullCap)
+		}
+		unc := assign.UnconstrainedCost(core, truec, 2)
+		tb.Add(name, metrics.I(int64(len(core))),
+			fmt.Sprintf("%.3f", geo.TotalWeight(core)/float64(n)),
+			capStr, fmt.Sprintf("%.3f", unc/fullUnc))
+	}
+
+	// Reference: compressing configuration (SamplesPerPart 96).
+	base := coreset.Params{K: k, Eps: 0.2, Eta: eta, Seed: c.Seed, SamplesPerPart: 96}
+	cs, err := coreset.Build(ps, base)
+	if err != nil {
+		panic(err)
+	}
+	addRow("full algorithm (spp=96)", cs.Points)
+
+	// Ablation 1: no partition structure — uniform sample of equal size.
+	rng := rand.New(rand.NewSource(c.Seed + 50))
+	addRow("uniform @ same size", baseline.Uniform(rng, ps, cs.Size()))
+
+	// Ablation 2: sampling budget sweep.
+	for _, spp := range []float64{32, 512} {
+		p := base
+		p.SamplesPerPart = spp
+		v, err := coreset.Build(ps, p)
+		if err != nil {
+			panic(err)
+		}
+		addRow(fmt.Sprintf("SamplesPerPart=%d", int(spp)), v.Points)
+	}
+
+	// Ablation 3: guess sensitivity around the accepted o.
+	for _, mul := range []float64{1.0 / 16, 16} {
+		v, _, err := coreset.BuildForO(ps, base, cs.O*mul)
+		if err != nil {
+			panic(err)
+		}
+		name := fmt.Sprintf("o × %s", metrics.F(mul))
+		if v == nil {
+			tb.Add(name, "0", "0.000", "FAIL", "FAIL")
+			continue
+		}
+		addRow(name, v.Points)
+	}
+	return tb
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/jl"
+	"streambalance/internal/metrics"
+	"streambalance/internal/solve"
+	"streambalance/internal/workload"
+)
+
+// E11HighDim validates the paper's dimension-reduction remark (Section 1,
+// via [MMR19]): when d ≫ k/ε, project to m = poly(k/ε) dimensions first;
+// the coreset machinery then works in the reduced space and the final
+// centers are lifted back. The table compares the reduced pipeline with
+// building the coreset directly in the original dimension, measuring the
+// capacitated cost of the resulting centers in the ORIGINAL space.
+func E11HighDim(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const (
+		k     = 3
+		dHigh = 256
+		delta = int64(1 << 10)
+	)
+	n := c.n(2000)
+	rng := rand.New(rand.NewSource(c.Seed))
+	ps, truec := workload.Mixture{
+		N: n, D: dHigh, Delta: delta, K: k, Spread: 10, Skew: 2,
+	}.Generate(rng)
+	ws := geo.UnitWeights(ps)
+	tcap := 1.2 * float64(n) / k
+
+	// Evaluation on a subsample for flow tractability.
+	evalN := 1000
+	if evalN > n {
+		evalN = n
+	}
+	scale := float64(evalN) / float64(n)
+	evalWS := ws[:evalN]
+	ref, _, okRef := assign.FractionalCost(evalWS, truec, tcap*scale*1.3, 2)
+	if !okRef {
+		panic("E11: reference infeasible")
+	}
+
+	tb := metrics.New("E11", "high-dimensional inputs via [MMR19] dimension reduction",
+		"pipeline", "dim", "|Q'|", "build ms", "cost in original space", "vs true centers")
+	tb.Note = fmt.Sprintf("d=%d, n=%d, k=%d; costs are capacitated (t=1.2n/k, ×1.3 relaxed) on a %d-point audit",
+		dHigh, n, k, evalN)
+
+	evalCenters := func(Z []geo.Point) float64 {
+		cost, _, ok := assign.FractionalCost(evalWS, Z, tcap*scale*1.3, 2)
+		if !ok {
+			return -1
+		}
+		return cost
+	}
+
+	solveOn := func(core []geo.Weighted, dim int64) []geo.Point {
+		sol, ok := solve.CapacitatedLloyd(rng, core, k, tcap*1.3, 2, dim, 6, 2)
+		if !ok {
+			panic("E11: solve infeasible")
+		}
+		return sol.Centers
+	}
+
+	// Pipeline A: direct, in the full dimension.
+	t0 := time.Now()
+	csDirect, err := coreset.Build(ps, coreset.Params{K: k, Seed: c.Seed, SamplesPerPart: 48})
+	if err != nil {
+		panic(err)
+	}
+	directMS := time.Since(t0).Milliseconds()
+	zDirect := solveOn(csDirect.Points, delta)
+	costDirect := evalCenters(zDirect)
+	tb.Add("direct (no reduction)", metrics.I(int64(dHigh)), metrics.I(int64(csDirect.Size())),
+		metrics.I(directMS), metrics.F(costDirect), fmt.Sprintf("%.3f", costDirect/ref))
+
+	// Pipeline B: JL → coreset → solve → lift.
+	t0 = time.Now()
+	m := jl.TargetDim(k, 0.5, dHigh)
+	tr, err := jl.Fit(rng, ps, m, 1<<12)
+	if err != nil {
+		panic(err)
+	}
+	red := tr.ApplyAll(ps)
+	csRed, err := coreset.Build(red, coreset.Params{K: k, Seed: c.Seed, SamplesPerPart: 48})
+	if err != nil {
+		panic(err)
+	}
+	redMS := time.Since(t0).Milliseconds()
+	zRed := solveOn(csRed.Points, 1<<12)
+	lifted := jl.LiftCenters(tr, ps, zRed, delta)
+	costRed := evalCenters(lifted)
+	tb.Add(fmt.Sprintf("JL to m=%d + lift", m), metrics.I(int64(m)), metrics.I(int64(csRed.Size())),
+		metrics.I(redMS), metrics.F(costRed), fmt.Sprintf("%.3f", costRed/ref))
+
+	return tb
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/metrics"
+	"streambalance/internal/stream"
+)
+
+// E12GuessSelection compares the three guess-selection mechanisms the
+// repository implements for Theorem 4.5's o (the paper assumes a
+// streaming 2-approximation of OPT as a black box):
+//
+//	offline:    k-means++ + Lloyd on the full data (the reference),
+//	reservoir:  the same estimator on a 1000-point reservoir sample
+//	            (exact for insertion-only streams),
+//	cell-count: the deletion-proof F₀ cell-counting upper bound.
+//
+// For each selected o the table reports the resulting coreset size and
+// cost fidelity — showing how guess quality trades coreset size for
+// nothing until o approaches OPT from below, and why the cell-count
+// bound is used only as a pruning cap.
+func E12GuessSelection(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k, delta = 3, int64(1 << 10)
+	n := c.n(4000)
+	rng := rand.New(rand.NewSource(c.Seed))
+	ps, truec := mixtureAt(rng, n, k, delta)
+	ws := geo.UnitWeights(ps)
+	fullCost := assign.UnconstrainedCost(ws, truec, 2)
+
+	tb := metrics.New("E12", "guess-selection mechanisms for o (Theorem 4.5's 2-approx slot)",
+		"selector", "selected o", "o / offline o", "|Q'|", "Σw'/n", "cost ratio @true Z")
+	tb.Note = fmt.Sprintf("n=%d; smaller o only enlarges the coreset; o ≫ OPT undersamples (the cell-count row is why that bound is only a pruning cap)", n)
+
+	offline := streamGuessAt(ps, k, c.Seed, delta)
+
+	// Reservoir estimate (as Auto computes it on an insert-only stream).
+	rv := stream.NewReservoir(1000, c.Seed)
+	for _, p := range ps {
+		rv.Insert(p)
+	}
+	// The sample's clustering cost is ≈ (sample/n)·OPT; rescale.
+	resEst := streamGuessAt(rv.Sample(), k, c.Seed, delta) * float64(n) / float64(len(rv.Sample()))
+
+	// Cell-count bound.
+	gcb := grid.New(delta, 2, rand.New(rand.NewSource(c.Seed+3)))
+	cb := stream.NewCostBound(rand.New(rand.NewSource(c.Seed+4)), gcb, 2, 256)
+	for _, p := range ps {
+		cb.Insert(p)
+	}
+	cbGuess := cb.Guess(k)
+
+	for _, row := range []struct {
+		name string
+		o    float64
+	}{
+		{"offline estimate", offline},
+		{"reservoir (1000)", resEst},
+		{"cell-count bound", cbGuess},
+		{"offline / 16", offline / 16},
+		{"offline × 16", offline * 16},
+	} {
+		s, err := stream.New(stream.Config{
+			Dim: 2, Delta: delta, O: row.o,
+			Params: coreset.Params{K: k, Seed: c.Seed + 9},
+		})
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range ps {
+			s.Insert(p)
+		}
+		cs, err := s.Result()
+		if err != nil {
+			tb.Add(row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
+				"FAIL", "-", "-")
+			continue
+		}
+		core := assign.UnconstrainedCost(cs.Points, truec, 2)
+		tb.Add(row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
+			metrics.I(int64(cs.Size())),
+			fmt.Sprintf("%.3f", cs.TotalWeight()/float64(n)),
+			fmt.Sprintf("%.3f", core/fullCost))
+	}
+	return tb
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+)
+
+// E13AssignmentCounting validates the paper's central counting insight
+// (Section 1.2): although k^n assignments exist, only those representable
+// by curved-hyperplane half-spaces can be optimal for ANY capacity —
+// at most Δ^{O(dk²)} of them, and far fewer in practice. On enumerable
+// instances the experiment computes the optimal capacitated assignment
+// for EVERY center set and EVERY capacity, counts the distinct
+// assignments observed, and verifies each is half-space representable
+// (the property the coreset's union bound quantifies over).
+func E13AssignmentCounting(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	tb := metrics.New("E13", "how many assignments can be optimal? (§1.2 union-bound structure)",
+		"instance", "k^n", "(Z,t) pairs solved", "distinct optimal π", "max π per Z", "all separable")
+	tb.Note = "the coreset's union bound works because column 4 ≪ column 2"
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	type inst struct {
+		name  string
+		d     int
+		delta int64
+		n     int
+		k     int
+	}
+	for _, in := range []inst{
+		{"d=1, Δ=32, n=10, k=2", 1, 32, 10, 2},
+		{"d=2, Δ=8, n=8, k=2", 2, 8, 8, 2},
+		{"d=1, Δ=16, n=8, k=3", 1, 16, 8, 3},
+	} {
+		ps := make(geo.PointSet, in.n)
+		for i := range ps {
+			ps[i] = make(geo.Point, in.d)
+			for j := range ps[i] {
+				ps[i][j] = 1 + rng.Int63n(in.delta)
+			}
+		}
+		// Enumerate all center sets of size k over [Δ]^d.
+		var domain geo.PointSet
+		var walk func(prefix geo.Point)
+		walk = func(prefix geo.Point) {
+			if len(prefix) == in.d {
+				domain = append(domain, prefix.Clone())
+				return
+			}
+			for v := int64(1); v <= in.delta; v++ {
+				walk(append(prefix, v))
+			}
+		}
+		walk(geo.Point{})
+
+		distinct := map[string]bool{}
+		solved := 0
+		maxPerZ := 0
+		allSep := true
+		var chooseZ func(start int, Z []geo.Point)
+		chooseZ = func(start int, Z []geo.Point) {
+			if len(Z) == in.k {
+				perZ := map[string]bool{}
+				for t := int(math.Ceil(float64(in.n) / float64(in.k))); t <= in.n; t++ {
+					res, ok := assign.Optimal(ps, Z, float64(t), 2)
+					if !ok {
+						continue
+					}
+					solved++
+					key := assignKey(res.Assign)
+					distinct[key] = true
+					perZ[key] = true
+					if !assign.VerifySeparation(ps, res.Assign, Z, 2, 1e-6).Separable {
+						allSep = false
+					}
+				}
+				if len(perZ) > maxPerZ {
+					maxPerZ = len(perZ)
+				}
+				return
+			}
+			for i := start; i < len(domain); i++ {
+				chooseZ(i+1, append(Z, domain[i]))
+			}
+		}
+		chooseZ(0, nil)
+
+		kn := math.Pow(float64(in.k), float64(in.n))
+		sep := "yes"
+		if !allSep {
+			sep = "NO"
+		}
+		tb.Add(in.name, metrics.F(kn), metrics.I(int64(solved)),
+			metrics.I(int64(len(distinct))), metrics.I(int64(maxPerZ)), sep)
+	}
+	return tb
+}
+
+func assignKey(pi []int) string {
+	var sb strings.Builder
+	for _, a := range pi {
+		fmt.Fprintf(&sb, "%d,", a)
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+)
+
+// E1CoresetQuality validates the strong (η, ε)-coreset inequality of
+// Theorem 3.19 directly. The definition is a two-sided sandwich:
+//
+//	up:   cost_{(1+η)t}(Q′, Z, w′) ≤ (1+ε)·cost_t(Q, Z)
+//	down: cost_{(1+η)²t}(Q, Z)     ≤ (1+ε)·cost_{(1+η)t}(Q′, Z, w′)
+//
+// For several center sets Z and capacities t the table reports both
+// ratios; the theorem bounds each by 1+ε (up to sampling noise beyond
+// the configured ε). Costs are optimal fractional capacitated
+// assignments computed by min-cost flow on both sides.
+func E1CoresetQuality(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k = 4
+	const eta = 0.25
+	n := c.n(2000)
+	ps, truec := stdMixture(c.Seed, n, k)
+	ws := geo.UnitWeights(ps)
+	// SamplesPerPart is lowered so that even at this flow-tractable n the
+	// coreset genuinely subsamples (≈3–4× compression) and the inequality
+	// is non-trivial.
+	cs, err := coreset.Build(ps, coreset.Params{K: k, Eps: 0.25, Eta: eta, Seed: c.Seed, SamplesPerPart: 96})
+	if err != nil {
+		panic(err)
+	}
+	tb := metrics.New("E1", "strong coreset inequality (Theorem 3.19)",
+		"centers", "t/(n/k)", "cost_t(Q)", "cost_(1+η)t(Q')", "up ratio", "cost_(1+η)²t(Q)", "down ratio")
+	tb.Note = fmt.Sprintf("n=%d, k=%d, ε=η=0.25, |Q'|=%d; both ratio columns must stay ≲ 1+ε", n, k, cs.Size())
+
+	rng := rand.New(rand.NewSource(c.Seed + 100))
+	for zi, Z := range centersFor(rng, ws, truec, k, 2) {
+		name := "true"
+		if zi > 0 {
+			name = fmt.Sprintf("kpp-%d", zi)
+		}
+		for _, tf := range []float64{1.05, 1.5, 4.0} {
+			t := tf * float64(n) / k
+			full, _, _ := assign.FractionalCost(ws, Z, t, 2)
+			core, _, _ := assign.FractionalCost(cs.Points, Z, (1+eta)*t, 2)
+			fullRelaxed, _, _ := assign.FractionalCost(ws, Z, (1+eta)*(1+eta)*t, 2)
+			tb.Add(name, metrics.F(tf),
+				metrics.F(full), metrics.F(core), fmt.Sprintf("%.3f", core/full),
+				metrics.F(fullRelaxed), fmt.Sprintf("%.3f", fullRelaxed/core))
+		}
+		// t = ∞ (unconstrained): the classic coreset check, both ratios
+		// collapse to plain cost ratio.
+		full := assign.UnconstrainedCost(ws, Z, 2)
+		core := assign.UnconstrainedCost(cs.Points, Z, 2)
+		tb.Add(name, "inf", metrics.F(full), metrics.F(core),
+			fmt.Sprintf("%.3f", core/full), metrics.F(full), fmt.Sprintf("%.3f", full/core))
+	}
+	return tb
+}

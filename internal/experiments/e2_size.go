@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/metrics"
+)
+
+// E2CoresetSize validates the size bound of Theorem 3.19: the coreset is
+// poly(ε⁻¹η⁻¹kd log Δ) — in particular independent of n — so growing n
+// must leave the size nearly flat while the compression ratio n/|Q′|
+// grows linearly.
+func E2CoresetSize(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k = 4
+	tb := metrics.New("E2", "coreset size vs n (Theorem 3.19: size independent of n)",
+		"n", "|Q'|", "n/|Q'|", "Σw'", "accepted o")
+	tb.Note = "size must flatten as n grows; theoretical ceiling is n-independent"
+	for _, base := range []int{2000, 8000, 32000, 128000} {
+		n := c.n(base)
+		ps, _ := stdMixture(c.Seed, n, k)
+		cs, err := coreset.Build(ps, coreset.Params{K: k, Seed: c.Seed})
+		if err != nil {
+			panic(err)
+		}
+		tb.Add(metrics.I(int64(n)), metrics.I(int64(cs.Size())),
+			metrics.F(float64(n)/float64(cs.Size())),
+			metrics.F(cs.TotalWeight()), fmt.Sprintf("%.3g", cs.O))
+	}
+	return tb
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+	"streambalance/internal/stream"
+)
+
+const e3Delta = 1 << 10
+
+// E3StreamingSpace validates Theorem 4.5's space claim: the sketch state
+// of the one-pass dynamic streaming algorithm is poly(kd log Δ) bytes,
+// independent of the stream length, while storing the stream itself grows
+// linearly. Both the single-guess instance and the full guess-enumeration
+// (Auto) are measured.
+func E3StreamingSpace(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k = 3
+	tb := metrics.New("E3", "streaming space vs stream length (Theorem 4.5)",
+		"n", "sketch bytes (1 guess)", "sketch bytes (all guesses)", "raw stream bytes", "|Q'|", "cost ratio @true Z")
+	tb.Note = "sketch columns must stay flat as n grows; raw column grows linearly"
+
+	for _, base := range []int{2000, 8000, 32000} {
+		n := c.n(base)
+		rng := rand.New(rand.NewSource(c.Seed))
+		ps, truec := mixtureAt(rng, n, k, e3Delta)
+		o := streamGuessAt(ps, k, c.Seed, e3Delta)
+
+		single, err := stream.New(stream.Config{
+			Dim: 2, Delta: e3Delta, O: o,
+			Params:       coreset.Params{K: k, Seed: c.Seed, HashIndependence: 8},
+			CellSparsity: 2048, PointSparsity: 4096,
+		})
+		if err != nil {
+			panic(err)
+		}
+		auto, err := stream.NewAuto(stream.Config{
+			Dim: 2, Delta: e3Delta,
+			Params:       coreset.Params{K: k, Seed: c.Seed, HashIndependence: 8},
+			CellSparsity: 512, PointSparsity: 2048,
+		}, 4)
+		if err != nil {
+			panic(err)
+		}
+		ops := make([]stream.Op, len(ps))
+		for i, p := range ps {
+			ops[i] = stream.Op{P: p}
+		}
+		single.Apply(ops)
+		auto.Apply(ops) // parallel across guess instances
+		cs, err := single.Result()
+		if err != nil {
+			panic(err)
+		}
+		full := assign.UnconstrainedCost(geo.UnitWeights(ps), truec, 2)
+		core := assign.UnconstrainedCost(cs.Points, truec, 2)
+		raw := int64(n) * int64(2*8) // n points × d coords × 8 bytes
+		tb.Add(metrics.I(int64(n)), metrics.Bytes(single.Bytes()), metrics.Bytes(auto.Bytes()),
+			metrics.Bytes(raw), metrics.I(int64(cs.Size())),
+			fmt.Sprintf("%.3f", core/full))
+	}
+	return tb
+}
+
+func mixtureAt(rng *rand.Rand, n, k int, delta int64) (geo.PointSet, []geo.Point) {
+	return workloadMixture(n, k, delta).Generate(rng)
+}

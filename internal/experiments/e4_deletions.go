@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+	"streambalance/internal/stream"
+	"streambalance/internal/workload"
+)
+
+// E4Deletions validates the dynamic half of Theorem 4.5: the streaming
+// coreset handles deletions exactly. Three adversarial patterns insert
+// extra mass and then delete it; the resulting coreset must describe the
+// survivors as well as an insert-only run over the survivors alone does.
+func E4Deletions(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k, delta = 3, int64(1 << 10)
+	n := c.n(2500)
+	tb := metrics.New("E4", "deletion patterns (Theorem 4.5: dynamic streams)",
+		"pattern", "inserts", "deletes", "survivors", "|Q'|", "Σw'/surv", "cost ratio @true Z")
+	tb.Note = "cost ratio compares the coreset against the survivor set; ≈1 means deletions cancelled exactly"
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	base, truec := mixtureAt(rng, n, k, delta)
+	ws := geo.UnitWeights(base)
+	fullCost := assign.UnconstrainedCost(ws, truec, 2)
+	o := streamGuessAt(base, k, c.Seed, delta)
+
+	type pattern struct {
+		name string
+		ops  []stream.Op
+	}
+	var patterns []pattern
+
+	// Pattern 1: churn — junk inserted and deleted, interleaved.
+	{
+		junk := workload.UniformBox(rng, n, 2, delta)
+		var ops []stream.Op
+		for i := 0; i < n; i++ {
+			ops = append(ops, stream.Op{P: base[i]}, stream.Op{P: junk[i]})
+		}
+		for _, j := range rng.Perm(n) {
+			ops = append(ops, stream.Op{P: junk[j], Delete: true})
+		}
+		patterns = append(patterns, pattern{"churn", ops})
+	}
+	// Pattern 2: cluster retraction — a whole extra cluster appears then
+	// vanishes (the sketch must forget its heavy cells entirely).
+	{
+		ghost, _ := workload.TwoBlobs(rng, n, delta, 1.0, 5)
+		var ops []stream.Op
+		for _, p := range base {
+			ops = append(ops, stream.Op{P: p})
+		}
+		for _, p := range ghost {
+			ops = append(ops, stream.Op{P: p})
+		}
+		for _, p := range ghost {
+			ops = append(ops, stream.Op{P: p, Delete: true})
+		}
+		patterns = append(patterns, pattern{"cluster-retraction", ops})
+	}
+	// Pattern 3: rebuild — everything deleted, then reinserted.
+	{
+		var ops []stream.Op
+		for _, p := range base {
+			ops = append(ops, stream.Op{P: p})
+		}
+		for _, p := range base {
+			ops = append(ops, stream.Op{P: p, Delete: true})
+		}
+		for _, p := range base {
+			ops = append(ops, stream.Op{P: p})
+		}
+		patterns = append(patterns, pattern{"delete-all-rebuild", ops})
+	}
+
+	for _, pat := range patterns {
+		s, err := stream.New(stream.Config{
+			Dim: 2, Delta: delta, O: o,
+			Params: coreset.Params{K: k, Seed: c.Seed + 7},
+		})
+		if err != nil {
+			panic(err)
+		}
+		ins, del := 0, 0
+		for _, op := range pat.ops {
+			if op.Delete {
+				del++
+			} else {
+				ins++
+			}
+		}
+		s.Apply(pat.ops)
+		cs, err := s.Result()
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", pat.name, err))
+		}
+		core := assign.UnconstrainedCost(cs.Points, truec, 2)
+		tb.Add(pat.name, metrics.I(int64(ins)), metrics.I(int64(del)),
+			metrics.I(s.N()), metrics.I(int64(cs.Size())),
+			fmt.Sprintf("%.3f", cs.TotalWeight()/float64(s.N())),
+			fmt.Sprintf("%.3f", core/fullCost))
+	}
+	return tb
+}
+
+func streamGuessAt(ps geo.PointSet, k int, seed int64, delta int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	est := estimateOPTFor(rng, ps, k, delta)
+	o := est / 4
+	if o < 1 {
+		o = 1
+	}
+	return o
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/dist"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+)
+
+// E5Distributed validates Theorem 4.7: the coordinator protocol leaves a
+// strong coreset at the coordinator with total communication
+// s·poly(kd log Δ) bits. The table sweeps the machine count s on fixed
+// data and reports measured bits (total and per point) and the coreset's
+// quality.
+func E5Distributed(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k, delta = 3, int64(1 << 10)
+	n := c.n(4000)
+	rng := rand.New(rand.NewSource(c.Seed))
+	ps, truec := mixtureAt(rng, n, k, delta)
+	ws := geo.UnitWeights(ps)
+	fullCost := assign.UnconstrainedCost(ws, truec, 2)
+
+	tb := metrics.New("E5", "distributed protocol (Theorem 4.7)",
+		"s", "bits total", "bits/point", "rounds", "|Q'|", "cost ratio @true Z")
+	tb.Note = fmt.Sprintf("n=%d fixed; bits must grow ≈ linearly in s and be sublinear in n", n)
+
+	for _, s := range []int{2, 4, 8, 16} {
+		machines := make([]geo.PointSet, s)
+		for i, p := range ps {
+			machines[i%s] = append(machines[i%s], p)
+		}
+		rep, err := dist.Run(machines, dist.Config{
+			Dim: 2, Delta: delta, Params: coreset.Params{K: k, Seed: c.Seed},
+		})
+		if err != nil {
+			panic(err)
+		}
+		core := assign.UnconstrainedCost(rep.Coreset.Points, truec, 2)
+		tb.Add(metrics.I(int64(s)), metrics.I(rep.Bits),
+			metrics.F(float64(rep.Bits)/float64(n)), metrics.I(int64(rep.Rounds)),
+			metrics.I(int64(rep.Coreset.Size())), fmt.Sprintf("%.3f", core/fullCost))
+	}
+	return tb
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/baseline"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+	"streambalance/internal/solve"
+	"streambalance/internal/workload"
+)
+
+// E6EndToEnd validates Fact 2.3 — the coreset's raison d'être: running a
+// capacitated (α, β)-approximate solver on the coreset yields a solution
+// whose cost on the ORIGINAL data is within (1+O(ε))α of solving there
+// directly, while violating capacities by at most (1+O(η))β. The workload
+// is the canonical imbalanced two-blob instance where balanced and
+// ordinary clustering genuinely differ (80% of mass in one blob,
+// per-center capacity 55% of n).
+func E6EndToEnd(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k, delta = 2, int64(1 << 12)
+	n := c.n(1600)
+	eta := 0.25
+	rng := rand.New(rand.NewSource(c.Seed))
+	ps, _ := workload.TwoBlobs(rng, n, delta, 0.8, float64(delta)/100)
+	ws := geo.UnitWeights(ps)
+	tcap := 0.55 * float64(n)
+
+	tb := metrics.New("E6", "end-to-end capacitated k-means via coreset (Fact 2.3)",
+		"method", "solve on", "solve ms", "cost on full data", "max size/t", "cost vs direct")
+	tb.Note = fmt.Sprintf("two blobs 80/20, n=%d, k=%d, t=0.55n; capacity forces ~25%% of mass to migrate", n, k)
+
+	evalOnFull := func(Z []geo.Point) (float64, float64) {
+		res, ok := assign.Weighted(ws, Z, tcap*(1+eta), 2)
+		if !ok {
+			return -1, -1
+		}
+		maxSize := 0.0
+		for _, s := range res.Sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		return res.Cost, maxSize / tcap
+	}
+
+	// Direct solve on the full data (the expensive reference).
+	t0 := time.Now()
+	direct, ok := solve.CapacitatedLloyd(rng, ws, k, tcap, 2, delta, 6, 2)
+	directMS := time.Since(t0).Milliseconds()
+	if !ok {
+		panic("E6: direct solve infeasible")
+	}
+	directCost, directViol := evalOnFull(direct.Centers)
+	tb.Add("direct", fmt.Sprintf("full n=%d", n), metrics.I(directMS),
+		metrics.F(directCost), fmt.Sprintf("%.3f", directViol), "1.000")
+
+	// Coreset solve.
+	cs, err := coreset.Build(ps, coreset.Params{K: k, Eps: 0.25, Eta: eta, Seed: c.Seed, SamplesPerPart: 24})
+	if err != nil {
+		panic(err)
+	}
+	t0 = time.Now()
+	onCore, ok := solve.CapacitatedLloyd(rng, cs.Points, k, tcap*(1+eta), 2, delta, 6, 2)
+	coreMS := time.Since(t0).Milliseconds()
+	if !ok {
+		panic("E6: coreset solve infeasible")
+	}
+	coreCost, coreViol := evalOnFull(onCore.Centers)
+	tb.Add("paper coreset", fmt.Sprintf("|Q'|=%d", cs.Size()), metrics.I(coreMS),
+		metrics.F(coreCost), fmt.Sprintf("%.3f", coreViol),
+		fmt.Sprintf("%.3f", coreCost/directCost))
+
+	// Uniform-sample coreset of the same size.
+	uni := baseline.Uniform(rng, ps, cs.Size())
+	t0 = time.Now()
+	onUni, ok := solve.CapacitatedLloyd(rng, uni, k, tcap*(1+eta), 2, delta, 6, 2)
+	uniMS := time.Since(t0).Milliseconds()
+	if !ok {
+		panic("E6: uniform solve infeasible")
+	}
+	uniCost, uniViol := evalOnFull(onUni.Centers)
+	tb.Add("uniform sample", fmt.Sprintf("m=%d", len(uni)), metrics.I(uniMS),
+		metrics.F(uniCost), fmt.Sprintf("%.3f", uniViol),
+		fmt.Sprintf("%.3f", uniCost/directCost))
+	return tb
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/baseline"
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/metrics"
+	"streambalance/internal/stream"
+)
+
+// E7Baselines reproduces the paper's positioning against prior art
+// (Section 1): the only previously known streaming algorithm for
+// capacitated clustering is the three-pass, insertion-only mapping
+// coreset of [BBLM14]; plain uniform sampling is the naive alternative.
+// The table compares passes, deletion support, subset property, size and
+// cost fidelity on the standard mixture.
+func E7Baselines(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k, delta = 3, int64(1 << 10)
+	n := c.n(4000)
+	rng := rand.New(rand.NewSource(c.Seed))
+	ps, truec := mixtureAt(rng, n, k, delta)
+	ws := geo.UnitWeights(ps)
+	fullCost := assign.UnconstrainedCost(ws, truec, 2)
+	tcap := 1.1 * float64(n) / k
+	fullCap, _, _ := assign.FractionalCost(sub(ws, 1500), truec, tcap*1500/float64(n), 2)
+
+	tb := metrics.New("E7", "vs prior art ([BBLM14] 3-pass, uniform sampling)",
+		"method", "passes", "deletions", "subset Q'⊆Q", "size", "cost ratio", "cap. cost ratio")
+	tb.Note = "cost ratios at true centers (capacitated column on a 1500-point subsample (coreset side at 1.1t) for tractability)"
+
+	addRow := func(name, passes, del, subset string, size int, core []geo.Weighted) {
+		ratio := assign.UnconstrainedCost(core, truec, 2) / fullCost
+		// Capacitated comparison on the subsample scale.
+		scaled := rescale(core, 1500/float64(n))
+		capCost, _, ok := assign.FractionalCost(scaled, truec, tcap*1500/float64(n)*1.1, 2)
+		capStr := "-"
+		if ok && fullCap > 0 {
+			capStr = fmt.Sprintf("%.3f", capCost/fullCap)
+		}
+		tb.Add(name, passes, del, subset, metrics.I(int64(size)),
+			fmt.Sprintf("%.3f", ratio), capStr)
+	}
+
+	// This paper: one pass, dynamic.
+	o := streamGuessAt(ps, k, c.Seed, delta)
+	s, err := stream.New(stream.Config{Dim: 2, Delta: delta, O: o, Params: coreset.Params{K: k, Seed: c.Seed}})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range ps {
+		s.Insert(p)
+	}
+	cs, err := s.Result()
+	if err != nil {
+		panic(err)
+	}
+	addRow("this paper (stream)", "1", "yes", "yes", cs.Size(), cs.Points)
+
+	// [BBLM14]-style mapping coreset.
+	tp, err := baseline.ThreePass(ps, k, 2, delta, cs.Size(), c.Seed)
+	if err != nil {
+		panic(err)
+	}
+	addRow("BBLM14 mapping", "3", "no", "no", tp.Pivots, tp.Coreset)
+
+	// Uniform sample of the same size.
+	uni := baseline.Uniform(rng, ps, cs.Size())
+	addRow("uniform sample", "1", "no", "yes", len(uni), uni)
+	return tb
+}
+
+// sub truncates a weighted set (the deterministic prefix; inputs are
+// pre-shuffled by the generators).
+func sub(ws []geo.Weighted, m int) []geo.Weighted {
+	if m >= len(ws) {
+		return ws
+	}
+	return ws[:m]
+}
+
+// rescale scales all weights by f (to compare against a subsampled
+// reference instance at the same capacity fraction).
+func rescale(ws []geo.Weighted, f float64) []geo.Weighted {
+	out := make([]geo.Weighted, len(ws))
+	for i, w := range ws {
+		out[i] = geo.Weighted{P: w.P, W: w.W * f}
+	}
+	return out
+}

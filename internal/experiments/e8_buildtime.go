@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/metrics"
+)
+
+// E8BuildTime validates the running-time claim of Theorem 3.19: the
+// offline construction runs in O(n·d·log²(ndΔ)) — near-linear in n. The
+// table sweeps n and reports wall time, ns/point, and the local scaling
+// exponent log(t_i/t_{i-1})/log(n_i/n_{i-1}), which must stay near 1.
+func E8BuildTime(c Cfg) *metrics.Table {
+	c = c.withDefaults()
+	const k = 4
+	tb := metrics.New("E8", "construction time vs n (Theorem 3.19: near-linear)",
+		"n", "build ms", "ns/point", "scaling exponent")
+	tb.Note = "exponent ≈ 1 ⇒ near-linear; >1.3 would contradict the theorem's shape"
+
+	prevN, prevT := 0.0, 0.0
+	for _, base := range []int{4000, 16000, 64000} {
+		n := c.n(base)
+		ps, _ := stdMixture(c.Seed, n, k)
+		t0 := time.Now()
+		_, err := coreset.Build(ps, coreset.Params{K: k, Seed: c.Seed})
+		if err != nil {
+			panic(err)
+		}
+		el := time.Since(t0)
+		exp := "-"
+		if prevN > 0 {
+			e := math.Log(el.Seconds()/prevT) / math.Log(float64(n)/prevN)
+			exp = fmt.Sprintf("%.2f", e)
+		}
+		tb.Add(metrics.I(int64(n)), metrics.I(el.Milliseconds()),
+			metrics.F(float64(el.Nanoseconds())/float64(n)), exp)
+		prevN, prevT = float64(n), el.Seconds()
+	}
+	return tb
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"streambalance/internal/metrics"
+)
+
+// The experiments are the deliverable that regenerates every table; the
+// smoke tests below run each at reduced scale and assert the structural
+// claims each table exists to demonstrate.
+
+const smokeScale = 0.25
+
+func run(t *testing.T, f func(Cfg) *metrics.Table, scale float64) *metrics.Table {
+	t.Helper()
+	tb := f(Cfg{Seed: 2, Scale: scale})
+	if tb.ID == "" || tb.Title == "" || len(tb.Header) == 0 {
+		t.Fatal("malformed table")
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+	return tb
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1RatiosBounded(t *testing.T) {
+	tb := run(t, E1CoresetQuality, 0.2)
+	for _, row := range tb.Rows {
+		up := cellFloat(t, row[4])
+		down := cellFloat(t, row[6])
+		// ε = 0.25 plus sampling noise headroom at small scale.
+		if up > 1.5 || down > 1.5 {
+			t.Fatalf("coreset inequality violated: up=%v down=%v (row %v)", up, down, row)
+		}
+	}
+}
+
+func TestE2SizeFlattens(t *testing.T) {
+	tb := run(t, E2CoresetSize, 0.1)
+	first := cellFloat(t, tb.Rows[0][1])
+	last := cellFloat(t, tb.Rows[len(tb.Rows)-1][1])
+	nFirst := cellFloat(t, tb.Rows[0][0])
+	nLast := cellFloat(t, tb.Rows[len(tb.Rows)-1][0])
+	if last/first >= nLast/nFirst {
+		t.Fatalf("coreset grew as fast as n: sizes %v → %v for n %v → %v",
+			first, last, nFirst, nLast)
+	}
+}
+
+func TestE3SpaceFlat(t *testing.T) {
+	tb := run(t, E3StreamingSpace, smokeScale)
+	for _, row := range tb.Rows {
+		if row[1] != tb.Rows[0][1] {
+			t.Fatalf("single-guess sketch bytes vary with n: %v vs %v", row[1], tb.Rows[0][1])
+		}
+	}
+}
+
+func TestE4DeletionsExact(t *testing.T) {
+	tb := run(t, E4Deletions, smokeScale)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 patterns, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ratio := cellFloat(t, row[6])
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("pattern %s: cost ratio %v", row[0], ratio)
+		}
+	}
+	// All three patterns leave the same survivors, hence identical
+	// coresets (linearity).
+	for _, row := range tb.Rows[1:] {
+		if row[4] != tb.Rows[0][4] {
+			t.Fatalf("coreset size differs across patterns: %v vs %v", row[4], tb.Rows[0][4])
+		}
+	}
+}
+
+func TestE5BitsGrowWithS(t *testing.T) {
+	tb := run(t, E5Distributed, smokeScale)
+	prev := 0.0
+	for _, row := range tb.Rows {
+		bits := cellFloat(t, row[1])
+		if bits <= prev {
+			t.Fatalf("bits must grow with s: %v after %v", bits, prev)
+		}
+		prev = bits
+	}
+}
+
+func TestE8NearLinear(t *testing.T) {
+	// Full scale: at tiny n, fixed overheads and timer noise dominate and
+	// the fitted exponent is meaningless.
+	tb := run(t, E8BuildTime, 1)
+	for _, row := range tb.Rows[1:] {
+		if row[3] == "-" {
+			continue
+		}
+		if exp := cellFloat(t, row[3]); exp > 1.6 {
+			t.Fatalf("scaling exponent %v far above linear", exp)
+		}
+	}
+}
+
+func TestE9AllOptimalSeparable(t *testing.T) {
+	tb := run(t, E9Separation, 0.5)
+	for _, row := range tb.Rows {
+		parts := strings.Split(row[2], "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Fatalf("r=%s: not all optimal assignments separable: %s", row[0], row[2])
+		}
+		// Perturbed assignments must NOT all be separable.
+		pparts := strings.Split(row[3], "/")
+		if pparts[1] != "0" && pparts[0] == pparts[1] {
+			t.Fatalf("r=%s: perturbed column vacuous: %s", row[0], row[3])
+		}
+	}
+}
+
+func TestE7HasAllThreeMethods(t *testing.T) {
+	tb := run(t, E7Baselines, 0.25)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 methods, got %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "1" || tb.Rows[0][2] != "yes" {
+		t.Fatalf("this paper's row must be 1-pass with deletions: %v", tb.Rows[0])
+	}
+	if tb.Rows[1][1] != "3" || tb.Rows[1][2] != "no" {
+		t.Fatalf("BBLM14 row must be 3-pass insertion-only: %v", tb.Rows[1])
+	}
+}
+
+func TestE10UniformLosesUnconstrained(t *testing.T) {
+	tb := run(t, E10Ablation, 0.3)
+	var fullUnc, uniUnc float64
+	for _, row := range tb.Rows {
+		if strings.HasPrefix(row[0], "full algorithm") {
+			fullUnc = cellFloat(t, row[4])
+		}
+		if strings.HasPrefix(row[0], "uniform") {
+			uniUnc = cellFloat(t, row[4])
+		}
+	}
+	if fullUnc == 0 || uniUnc == 0 {
+		t.Fatal("missing rows")
+	}
+	// The partition's variance control must beat structure-free sampling
+	// on the unconstrained cost.
+	if absErr(fullUnc) > absErr(uniUnc) {
+		t.Fatalf("partitioned sampling (err %v) worse than uniform (err %v)",
+			absErr(fullUnc), absErr(uniUnc))
+	}
+}
+
+func absErr(ratio float64) float64 {
+	if ratio > 1 {
+		return ratio - 1
+	}
+	return 1 - ratio
+}
+
+func TestE6AndE11RunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-heavy")
+	}
+	tb6 := run(t, E6EndToEnd, 0.15)
+	if len(tb6.Rows) != 3 {
+		t.Fatalf("E6: want 3 rows, got %d", len(tb6.Rows))
+	}
+	tb11 := run(t, E11HighDim, 0.15)
+	if len(tb11.Rows) != 2 {
+		t.Fatalf("E11: want 2 rows, got %d", len(tb11.Rows))
+	}
+}

@@ -1,0 +1,44 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkTransportation measures the min-cost-flow solver on the
+// bipartite transportation instances the assignment layer builds.
+func BenchmarkTransportation(b *testing.B) {
+	for _, cfg := range []struct{ n, k int }{{100, 4}, {400, 4}, {400, 16}} {
+		b.Run(fmt.Sprintf("n=%d_k=%d", cfg.n, cfg.k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			costs := make([][]float64, cfg.n)
+			for i := range costs {
+				costs[i] = make([]float64, cfg.k)
+				for j := range costs[i] {
+					costs[i][j] = rng.Float64() * 1000
+				}
+			}
+			capPer := float64(cfg.n/cfg.k + 1)
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				g := NewGraph(cfg.n + cfg.k + 2)
+				src, sink := 0, cfg.n+cfg.k+1
+				for i := 0; i < cfg.n; i++ {
+					g.AddEdge(src, 1+i, 1, 0)
+					for j := 0; j < cfg.k; j++ {
+						g.AddEdge(1+i, cfg.n+1+j, 1, costs[i][j])
+					}
+				}
+				for j := 0; j < cfg.k; j++ {
+					g.AddEdge(cfg.n+1+j, sink, capPer, 0)
+				}
+				f, _ := g.MinCostFlow(src, sink, math.Inf(1))
+				if f != float64(cfg.n) {
+					b.Fatal("flow incomplete")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package flow implements min-cost max-flow via successive shortest
+// paths with Johnson potentials (Dijkstra augmentation). It is the
+// optimization substrate behind capacitated assignment (Section 3.3 uses
+// minimum-cost flow both to solve the fractional weighted assignment and
+// to canonicalize integral assignments before the half-space switching
+// argument).
+//
+// Capacities and costs are float64. On transportation-shaped networks —
+// source → points → centers → sink, which is the only shape the rest of
+// the repository builds — every augmentation permanently saturates a
+// source or sink arc, so the number of augmentations is at most
+// #points + #centers and real-valued capacities terminate exactly like
+// integral ones.
+package flow
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Eps is the residual-capacity tolerance: arcs with residual below Eps are
+// treated as saturated, absorbing float64 rounding from repeated
+// augmentations.
+const Eps = 1e-9
+
+type edge struct {
+	to   int
+	rev  int // index of the reverse edge in adj[to]
+	cap  float64
+	cost float64
+	flow float64
+	id   int // external id; -1 for reverse edges
+}
+
+// Graph is a directed flow network.
+type Graph struct {
+	n     int
+	adj   [][]edge
+	edges int // number of external edges added
+}
+
+// NewGraph creates a network with n nodes, numbered 0..n−1.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed arc from→to with the given capacity and
+// per-unit cost, returning its id for later Flow lookups. Costs must be
+// ≥ 0 for the Dijkstra-based solver (all clustering costs are).
+func (g *Graph) AddEdge(from, to int, capacity, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic("flow: node out of range")
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	if cost < 0 {
+		panic("flow: negative cost (Dijkstra potentials require cost ≥ 0)")
+	}
+	id := g.edges
+	g.edges++
+	g.adj[from] = append(g.adj[from], edge{to: to, rev: len(g.adj[to]), cap: capacity, cost: cost, id: id})
+	g.adj[to] = append(g.adj[to], edge{to: from, rev: len(g.adj[from]) - 1, cap: 0, cost: -cost, id: -1})
+	return id
+}
+
+// Flow returns the flow currently routed on the external edge with the
+// given id (as returned by AddEdge).
+func (g *Graph) Flow(id int) float64 {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			if g.adj[u][i].id == id {
+				return g.adj[u][i].flow
+			}
+		}
+	}
+	panic("flow: unknown edge id")
+}
+
+// FlowsByID returns a slice indexed by edge id holding each edge's flow.
+func (g *Graph) FlowsByID() []float64 {
+	out := make([]float64, g.edges)
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			if e := &g.adj[u][i]; e.id >= 0 {
+				out[e.id] = e.flow
+			}
+		}
+	}
+	return out
+}
+
+// pqItem is a Dijkstra priority-queue entry.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t along successive
+// shortest paths, returning the total flow routed and its total cost.
+// Pass math.Inf(1) as maxFlow for a max-flow computation.
+func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
+	if s == t {
+		return 0, 0
+	}
+	pot := make([]float64, g.n) // Johnson potentials; costs are ≥ 0 initially
+	dist := make([]float64, g.n)
+	visited := make([]bool, g.n)
+	prevNode := make([]int, g.n)
+	prevEdge := make([]int, g.n)
+
+	for flow < maxFlow-Eps || maxFlow == math.Inf(1) {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			visited[i] = false
+		}
+		dist[s] = 0
+		q := pq{{node: s, dist: 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			u := it.node
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for i := range g.adj[u] {
+				e := &g.adj[u][i]
+				if e.cap-e.flow <= Eps || visited[e.to] {
+					continue
+				}
+				nd := dist[u] + e.cost + pot[u] - pot[e.to]
+				if nd < dist[e.to]-1e-15 {
+					dist[e.to] = nd
+					prevNode[e.to] = u
+					prevEdge[e.to] = i
+					heap.Push(&q, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		if !visited[t] {
+			break // no augmenting path
+		}
+		for i := range pot {
+			if visited[i] {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - flow
+		if maxFlow == math.Inf(1) {
+			push = math.Inf(1)
+		}
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			if r := e.cap - e.flow; r < push {
+				push = r
+			}
+		}
+		if push <= Eps {
+			break
+		}
+		for v := t; v != s; v = prevNode[v] {
+			e := &g.adj[prevNode[v]][prevEdge[v]]
+			e.flow += push
+			rev := &g.adj[v][e.rev]
+			rev.flow -= push
+			cost += push * e.cost
+		}
+		flow += push
+	}
+	return flow, cost
+}

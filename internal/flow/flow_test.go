@@ -1,0 +1,205 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleEdge(t *testing.T) {
+	g := NewGraph(2)
+	id := g.AddEdge(0, 1, 5, 2)
+	f, c := g.MinCostFlow(0, 1, math.Inf(1))
+	if f != 5 || c != 10 {
+		t.Fatalf("flow=%v cost=%v, want 5, 10", f, c)
+	}
+	if g.Flow(id) != 5 {
+		t.Fatalf("edge flow = %v", g.Flow(id))
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel 2-hop paths, costs 1+1 vs 5+5, capacity 1 each.
+	g := NewGraph(4)
+	cheap1 := g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 3, 1, 1)
+	exp1 := g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(2, 3, 1, 5)
+	f, c := g.MinCostFlow(0, 3, 1)
+	if f != 1 || c != 2 {
+		t.Fatalf("flow=%v cost=%v, want 1, 2", f, c)
+	}
+	if g.Flow(cheap1) != 1 || g.Flow(exp1) != 0 {
+		t.Fatal("flow must use the cheap path")
+	}
+	// Second unit must take the expensive path.
+	f, c = g.MinCostFlow(0, 3, 1)
+	if f != 1 || c != 10 {
+		t.Fatalf("second unit: flow=%v cost=%v, want 1, 10", f, c)
+	}
+}
+
+func TestResidualRerouting(t *testing.T) {
+	// Classic instance where min-cost max-flow must push flow "back"
+	// along a residual arc to reach the optimum.
+	//
+	//   0 → 1 (cap 1, cost 1),  0 → 2 (cap 1, cost 10)
+	//   1 → 2 (cap 1, cost 1),  1 → 3 (cap 1, cost 10)
+	//   2 → 3 (cap 1, cost 1)
+	//
+	// Max flow is 2; optimal cost routes 0→1→2→3 (3) and 0→2... cap of
+	// 2→3 is 1, so the optimum is 0→1→2→3 + 0→2? No: 2→3 saturates, so
+	// second path is 0→1→3? 0→1 saturates too. Optimal pair:
+	// 0→1→2→3 (cost 3) and 0→2 + 2→3 blocked → 0→2 →(residual 2→1)→1→3:
+	// cost 10 − 1 + 10 = 19? Let the solver decide; verify against the
+	// known optimum 0→1→3 (11) + 0→2→3 (11) = 22 vs 3+19=22. Equal: 22.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 10)
+	g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(1, 3, 1, 10)
+	g.AddEdge(2, 3, 1, 1)
+	f, c := g.MinCostFlow(0, 3, math.Inf(1))
+	if f != 2 {
+		t.Fatalf("max flow = %v, want 2", f)
+	}
+	if math.Abs(c-22) > 1e-9 {
+		t.Fatalf("cost = %v, want 22", c)
+	}
+}
+
+func TestRespectsMaxFlowBudget(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 100, 1)
+	f, c := g.MinCostFlow(0, 1, 7)
+	if f != 7 || c != 7 {
+		t.Fatalf("flow=%v cost=%v", f, c)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, 1)
+	f, c := g.MinCostFlow(0, 2, math.Inf(1))
+	if f != 0 || c != 0 {
+		t.Fatalf("flow=%v cost=%v, want 0, 0", f, c)
+	}
+}
+
+func TestFractionalCapacities(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 0.5, 1)
+	g.AddEdge(0, 1, 0.25, 3)
+	g.AddEdge(1, 2, 1, 0)
+	f, c := g.MinCostFlow(0, 2, math.Inf(1))
+	if math.Abs(f-0.75) > 1e-9 {
+		t.Fatalf("flow = %v, want 0.75", f)
+	}
+	if math.Abs(c-(0.5+0.75)) > 1e-9 {
+		t.Fatalf("cost = %v, want 1.25", c)
+	}
+}
+
+func TestTransportationMatchesBruteForce(t *testing.T) {
+	// Random 3-source, 2-sink transportation problems: compare against
+	// exhaustive enumeration of integral assignments.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		const nSrc, nSink = 3, 2
+		capSink := float64(2) // each sink takes at most 2 units
+		costs := make([][]float64, nSrc)
+		for i := range costs {
+			costs[i] = []float64{float64(rng.Intn(20)), float64(rng.Intn(20))}
+		}
+		// Flow network: 0 = S, 1..3 = sources, 4..5 = sinks, 6 = T.
+		g := NewGraph(7)
+		for i := 0; i < nSrc; i++ {
+			g.AddEdge(0, 1+i, 1, 0)
+			for j := 0; j < nSink; j++ {
+				g.AddEdge(1+i, 4+j, 1, costs[i][j])
+			}
+		}
+		for j := 0; j < nSink; j++ {
+			g.AddEdge(4+j, 6, capSink, 0)
+		}
+		f, c := g.MinCostFlow(0, 6, math.Inf(1))
+		if f != nSrc {
+			t.Fatalf("trial %d: flow %v, want %d", trial, f, nSrc)
+		}
+		best := math.Inf(1)
+		for mask := 0; mask < 8; mask++ { // assignment of each source to sink 0/1
+			cnt := [2]int{}
+			tot := 0.0
+			for i := 0; i < nSrc; i++ {
+				j := (mask >> i) & 1
+				cnt[j]++
+				tot += costs[i][j]
+			}
+			if cnt[0] <= int(capSink) && cnt[1] <= int(capSink) && tot < best {
+				best = tot
+			}
+		}
+		if math.Abs(c-best) > 1e-9 {
+			t.Fatalf("trial %d: cost %v, brute-force optimum %v", trial, c, best)
+		}
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGraph(10)
+	type e struct{ id, from, to int }
+	var es []e
+	for i := 0; i < 30; i++ {
+		from, to := rng.Intn(9), 1+rng.Intn(9)
+		if from == to {
+			continue
+		}
+		id := g.AddEdge(from, to, float64(1+rng.Intn(5)), float64(rng.Intn(10)))
+		es = append(es, e{id, from, to})
+	}
+	g.MinCostFlow(0, 9, math.Inf(1))
+	flows := g.FlowsByID()
+	net := make([]float64, 10)
+	for _, ed := range es {
+		f := flows[ed.id]
+		if f < -Eps {
+			t.Fatalf("negative flow on edge %d", ed.id)
+		}
+		net[ed.from] -= f
+		net[ed.to] += f
+	}
+	for v := 1; v < 9; v++ {
+		if math.Abs(net[v]) > 1e-6 {
+			t.Fatalf("conservation violated at node %d: %v", v, net[v])
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	g := NewGraph(2)
+	mustPanic(t, func() { g.AddEdge(-1, 0, 1, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 5, 1, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 1, -1, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 1, 1, -1) })
+	mustPanic(t, func() { g.Flow(99) })
+}
+
+func TestSelfSourceSink(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1, 1)
+	f, c := g.MinCostFlow(0, 0, math.Inf(1))
+	if f != 0 || c != 0 {
+		t.Fatal("s==t must be a no-op")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

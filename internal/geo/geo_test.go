@@ -1,0 +1,232 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasics(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 6, 3}
+	if got := DistSq(p, q); got != 25 {
+		t.Fatalf("DistSq = %v, want 25", got)
+	}
+	if got := Dist(p, q); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := Dist(p, p); got != 0 {
+		t.Fatalf("Dist(p,p) = %v, want 0", got)
+	}
+}
+
+func TestDistDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	DistSq(Point{1}, Point{1, 2})
+}
+
+func TestDistRFastPathsAgreeWithPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		d := rng.Intn(6) + 1
+		p := randPoint(rng, d, 1000)
+		q := randPoint(rng, d, 1000)
+		for _, r := range []float64{1, 2, 3, 1.5} {
+			want := math.Pow(Dist(p, q), r)
+			got := DistR(p, q, r)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("DistR(r=%v) = %v, want %v", r, got, want)
+			}
+		}
+	}
+}
+
+func TestPowR(t *testing.T) {
+	if PowR(3, 2) != 9 {
+		t.Fatal("PowR(3,2)")
+	}
+	if PowR(3, 1) != 3 {
+		t.Fatal("PowR(3,1)")
+	}
+	if PowR(0, 3) != 0 {
+		t.Fatal("PowR(0,3)")
+	}
+	if math.Abs(PowR(2, 3)-8) > 1e-12 {
+		t.Fatal("PowR(2,3)")
+	}
+}
+
+func TestTriangleInequalityPowerR(t *testing.T) {
+	// Fact 2.1: dist^r(x,z) ≤ 2^{r-1}(dist^r(x,y) + dist^r(y,z)).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		d := rng.Intn(5) + 1
+		x := randPoint(rng, d, 64)
+		y := randPoint(rng, d, 64)
+		z := randPoint(rng, d, 64)
+		for _, r := range []float64{1, 2, 3} {
+			lhs := DistR(x, z, r)
+			rhs := math.Pow(2, r-1) * (DistR(x, y, r) + DistR(y, z, r))
+			if lhs > rhs*(1+1e-9) {
+				t.Fatalf("Fact 2.1 violated: r=%v x=%v y=%v z=%v lhs=%v rhs=%v", r, x, y, z, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	pts := PointSet{
+		{1, 1}, {1, 2}, {2, 1}, {1, 1}, {3, 0}, {0, 9},
+	}
+	sorted := pts.Clone()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for i := 0; i+1 < len(sorted); i++ {
+		if sorted[i+1].Less(sorted[i]) {
+			t.Fatalf("sort not consistent at %d: %v > %v", i, sorted[i], sorted[i+1])
+		}
+	}
+	// Antisymmetry + totality on random pairs.
+	err := quick.Check(func(a, b []int64) bool {
+		p, q := Point(a), Point(b)
+		l1, l2 := p.Less(q), q.Less(p)
+		if l1 && l2 {
+			return false
+		}
+		if !l1 && !l2 {
+			return p.Compare(q) == 0
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if (Point{1, 2}).Compare(Point{1, 3}) != -1 {
+		t.Fatal("want -1")
+	}
+	if (Point{1, 3}).Compare(Point{1, 2}) != 1 {
+		t.Fatal("want 1")
+	}
+	if (Point{1, 3}).Compare(Point{1, 3}) != 0 {
+		t.Fatal("want 0")
+	}
+}
+
+func TestDistToSet(t *testing.T) {
+	Z := []Point{{0, 0}, {10, 0}, {5, 5}}
+	d, i := DistToSet(Point{9, 1}, Z)
+	if i != 1 {
+		t.Fatalf("nearest = %d, want 1", i)
+	}
+	if math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("d = %v", d)
+	}
+	// Tie broken toward smaller index.
+	_, i = DistToSet(Point{5, 0}, []Point{{0, 0}, {10, 0}})
+	if i != 0 {
+		t.Fatalf("tie-break index = %d, want 0", i)
+	}
+}
+
+func TestCentroidAndRounding(t *testing.T) {
+	ws := []Weighted{
+		{P: Point{1, 1}, W: 1},
+		{P: Point{3, 5}, W: 1},
+	}
+	c := Centroid(ws)
+	if c[0] != 2 || c[1] != 3 {
+		t.Fatalf("centroid = %v", c)
+	}
+	ws[1].W = 3
+	c = Centroid(ws)
+	if math.Abs(c[0]-2.5) > 1e-12 || math.Abs(c[1]-4) > 1e-12 {
+		t.Fatalf("weighted centroid = %v", c)
+	}
+	p := RoundToGrid([]float64{0.2, 9.7}, 8)
+	if !p.Equal(Point{1, 8}) {
+		t.Fatalf("RoundToGrid clamp = %v", p)
+	}
+}
+
+func TestBoundingBoxAndMaxPairwise(t *testing.T) {
+	ps := PointSet{{1, 5}, {4, 2}, {3, 3}}
+	lo, hi := BoundingBox(ps)
+	if !lo.Equal(Point{1, 2}) || !hi.Equal(Point{4, 5}) {
+		t.Fatalf("bbox = %v %v", lo, hi)
+	}
+	got := MaxPairwiseDist(ps)
+	want := Dist(Point{1, 5}, Point{4, 2})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxPairwiseDist = %v, want %v", got, want)
+	}
+}
+
+func TestMaxCoordRangePowerOfTwo(t *testing.T) {
+	cases := []struct {
+		max  int64
+		want int64
+	}{{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}}
+	for _, c := range cases {
+		ps := PointSet{{c.max}, {1}}
+		if got := MaxCoordRange(ps); got != c.want {
+			t.Fatalf("MaxCoordRange(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestUnitWeightsRoundTrip(t *testing.T) {
+	ps := PointSet{{1, 2}, {3, 4}}
+	ws := UnitWeights(ps)
+	if TotalWeight(ws) != 2 {
+		t.Fatal("total weight")
+	}
+	back := Points(ws)
+	for i := range ps {
+		if !back[i].Equal(ps[i]) {
+			t.Fatal("round trip")
+		}
+	}
+}
+
+func TestInRange(t *testing.T) {
+	if !(Point{1, 8}).InRange(8) {
+		t.Fatal("in range")
+	}
+	if (Point{0, 8}).InRange(8) {
+		t.Fatal("0 out of range")
+	}
+	if (Point{1, 9}).InRange(8) {
+		t.Fatal("9 out of range")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("clone aliases")
+	}
+	ps := PointSet{{1, 2}}
+	ps2 := ps.Clone()
+	ps2[0][0] = 77
+	if ps[0][0] != 1 {
+		t.Fatal("pointset clone aliases")
+	}
+}
+
+func randPoint(rng *rand.Rand, d int, delta int64) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = 1 + rng.Int63n(delta)
+	}
+	return p
+}

@@ -1,0 +1,34 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func BenchmarkCellKey(b *testing.B) {
+	g := New(1<<16, 4, rand.New(rand.NewSource(1)))
+	p := geo.Point{12345, 54321, 11111, 65535}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= g.CellKey(p, i%(g.L+1))
+	}
+	_ = sink
+}
+
+func BenchmarkAllLevelsOfPoint(b *testing.B) {
+	// The per-update cost pattern of the streaming algorithm: one cell
+	// key per level.
+	g := New(1<<16, 2, rand.New(rand.NewSource(2)))
+	p := geo.Point{40000, 20000}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for level := 0; level <= g.L; level++ {
+			sink ^= g.CellKey(p, level)
+		}
+	}
+	_ = sink
+}

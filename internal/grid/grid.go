@@ -1,0 +1,138 @@
+// Package grid implements the randomly shifted hierarchical grids
+// G_{-1}, G_0, ..., G_L of Section 3.1. Grid G_i partitions space into
+// axis-aligned cells of side length g_i = Δ/2^i; G_{-1} has side 2Δ so a
+// single cell contains all of [Δ]^d; G_L has unit cells, so each cell of
+// G_L holds at most one distinct location.
+//
+// The paper shifts the grid by a uniform real vector v ∈ [0,Δ]^d. Because
+// all inputs live on the integer grid, shifting by an integer vector
+// v ∈ {0,...,Δ−1}^d is distributionally equivalent for every event the
+// analysis uses (which cell a point falls in only depends on ⌊v⌋ when
+// points are integral); it is also exactly representable, so cell
+// membership is computed with pure integer arithmetic.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/hashing"
+)
+
+// MinLevel is the coarsest grid level, G_{-1}, whose single cell covers
+// the whole domain.
+const MinLevel = -1
+
+// Grid is a hierarchy of randomly shifted grids over [Δ]^d.
+type Grid struct {
+	Delta int64   // domain bound; power of two
+	L     int     // Δ = 2^L
+	Dim   int     // dimension d
+	Shift []int64 // integer shift, one entry per coordinate, in [0, Δ)
+
+	fp *hashing.Fingerprint
+}
+
+// New creates a grid hierarchy over [delta]^dim with a random shift drawn
+// from rng. delta must be a power of two (use geo.MaxCoordRange to round
+// up).
+func New(delta int64, dim int, rng *rand.Rand) *Grid {
+	if delta < 1 || delta&(delta-1) != 0 {
+		panic(fmt.Sprintf("grid: delta %d is not a positive power of two", delta))
+	}
+	if dim < 1 {
+		panic("grid: dimension must be >= 1")
+	}
+	l := 0
+	for int64(1)<<l < delta {
+		l++
+	}
+	shift := make([]int64, dim)
+	for i := range shift {
+		shift[i] = rng.Int63n(delta)
+	}
+	return &Grid{Delta: delta, L: l, Dim: dim, Shift: shift, fp: hashing.NewFingerprint(rng)}
+}
+
+// SideLen returns g_i = Δ/2^i, the side length of cells at level i
+// (level −1 yields 2Δ).
+func (g *Grid) SideLen(level int) int64 { return g.SideLenInt(level) }
+
+// shiftBits returns log2(g_i) = L − i.
+func (g *Grid) shiftBits(level int) uint {
+	return uint(g.L - level)
+}
+
+// CellIndex returns the integer index vector of the level-i cell that
+// contains p: index_j = (p_j + shift_j) >> (L − i).
+func (g *Grid) CellIndex(p geo.Point, level int) []int64 {
+	g.checkLevel(level)
+	if len(p) != g.Dim {
+		panic(fmt.Sprintf("grid: point dim %d != grid dim %d", len(p), g.Dim))
+	}
+	b := g.shiftBits(level)
+	idx := make([]int64, g.Dim)
+	for j := range p {
+		idx[j] = (p[j] + g.Shift[j]) >> b
+	}
+	return idx
+}
+
+// ParentIndex maps a level-i cell index to its level-(i−1) parent index.
+func ParentIndex(idx []int64) []int64 {
+	out := make([]int64, len(idx))
+	for j, v := range idx {
+		out[j] = v >> 1
+	}
+	return out
+}
+
+// CellKey returns a 64-bit fingerprint key identifying the level-i cell
+// containing p. Keys are unique across levels (the level is folded into
+// the fingerprint) up to the fingerprint collision bound.
+func (g *Grid) CellKey(p geo.Point, level int) uint64 {
+	return g.KeyOf(level, g.CellIndex(p, level))
+}
+
+// KeyOf fingerprints an explicit (level, index) pair.
+func (g *Grid) KeyOf(level int, idx []int64) uint64 {
+	buf := make([]int64, 0, len(idx)+1)
+	buf = append(buf, int64(level)+2) // ≥ 1 so level −1 is representable
+	buf = append(buf, idx...)
+	return g.fp.Key(buf)
+}
+
+// Diameter returns the diameter bound √d·g_i for cells at level i: any
+// two points in the same level-i cell are within this distance.
+func (g *Grid) Diameter(level int) float64 {
+	return math.Sqrt(float64(g.Dim)) * float64(g.SideLenInt(level))
+}
+
+// SideLenInt returns g_i exactly as an int64.
+func (g *Grid) SideLenInt(level int) int64 {
+	g.checkLevel(level)
+	return int64(1) << g.shiftBits(level)
+}
+
+// Levels returns the number of levels 0..L (i.e. L+1); callers iterate
+// level = 0 ... L and may additionally use level −1.
+func (g *Grid) Levels() int { return g.L + 1 }
+
+func (g *Grid) checkLevel(level int) {
+	if level < MinLevel || level > g.L {
+		panic(fmt.Sprintf("grid: level %d out of range [%d, %d]", level, MinLevel, g.L))
+	}
+}
+
+// SameCell reports whether p and q fall in the same level-i cell.
+func (g *Grid) SameCell(p, q geo.Point, level int) bool {
+	b := g.shiftBits(level)
+	for j := range p {
+		if (p[j]+g.Shift[j])>>b != (q[j]+g.Shift[j])>>b {
+			return false
+		}
+	}
+	return true
+}

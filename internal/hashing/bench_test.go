@@ -1,0 +1,70 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkKWiseEval(b *testing.B) {
+	for _, lambda := range []int{2, 16, 256} {
+		b.Run(benchName("lambda", lambda), func(b *testing.B) {
+			h := NewKWise(rand.New(rand.NewSource(1)), lambda)
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= h.Eval(uint64(i))
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkBernoulliSample(b *testing.B) {
+	s := NewBernoulli(rand.New(rand.NewSource(2)), 16, 0.1)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if s.Sample(uint64(i)) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkFingerprintKey(b *testing.B) {
+	f := NewFingerprint(rand.New(rand.NewSource(3)))
+	coords := []int64{123456, 654321, 111111, 999999}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		coords[0] = int64(i)
+		sink ^= f.Key(coords)
+	}
+	_ = sink
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	var sink uint64 = 12345
+	for i := 0; i < b.N; i++ {
+		sink = mulMod(sink, 0x1234567890ab)
+	}
+	_ = sink
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,52 @@
+package hashing
+
+// Exported GF(p) arithmetic, p = 2^61 − 1, used by the sparse-recovery
+// sketches (internal/sketch) to maintain key and fingerprint sums under
+// insertions and deletions.
+
+// AddMod returns a+b mod p for a, b < p.
+func AddMod(a, b uint64) uint64 { return addMod(a, b) }
+
+// SubMod returns a−b mod p for a, b < p.
+func SubMod(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + MersennePrime61 - b
+}
+
+// MulMod returns a·b mod p for a, b < p.
+func MulMod(a, b uint64) uint64 { return mulMod(a, b) }
+
+// PowMod returns a^e mod p by binary exponentiation.
+func PowMod(a, e uint64) uint64 {
+	var r uint64 = 1
+	a = reduce64(a)
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, a)
+		}
+		a = mulMod(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a (a ≠ 0 mod p) via
+// Fermat's little theorem.
+func InvMod(a uint64) uint64 { return PowMod(a, MersennePrime61-2) }
+
+// ToField maps a signed count into GF(p): negative values become p − |v|.
+func ToField(v int64) uint64 {
+	if v >= 0 {
+		return reduce64(uint64(v))
+	}
+	m := reduce64(uint64(-v))
+	if m == 0 {
+		return 0
+	}
+	return MersennePrime61 - m
+}
+
+// Reduce64 maps an arbitrary 64-bit value into GF(p).
+func Reduce64(x uint64) uint64 { return reduce64(x) }

@@ -1,0 +1,94 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubModInverseOfAddMod(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		return SubMod(AddMod(a, b), b) == a
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowModBasics(t *testing.T) {
+	if PowMod(2, 10) != 1024 {
+		t.Fatalf("2^10 = %d", PowMod(2, 10))
+	}
+	if PowMod(7, 0) != 1 {
+		t.Fatal("x^0 must be 1")
+	}
+	if PowMod(0, 5) != 0 {
+		t.Fatal("0^5 must be 0")
+	}
+	// Fermat: a^{p−1} ≡ 1 for a ≠ 0.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := randField(rng)
+		if a == 0 {
+			continue
+		}
+		if PowMod(a, MersennePrime61-1) != 1 {
+			t.Fatalf("Fermat fails for %d", a)
+		}
+	}
+}
+
+func TestInvModIsInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := randField(rng)
+		if a == 0 {
+			continue
+		}
+		if MulMod(a, InvMod(a)) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for %d", a)
+		}
+	}
+}
+
+func TestToFieldRange(t *testing.T) {
+	err := quick.Check(func(v int64) bool {
+		f := ToField(v)
+		if f >= MersennePrime61 {
+			return false
+		}
+		// ToField(v) + ToField(-v) ≡ 0 unless v overflows negation.
+		if v == -v {
+			return true
+		}
+		return AddMod(f, ToField(-v)) == 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduce64Idempotent(t *testing.T) {
+	err := quick.Check(func(x uint64) bool {
+		r := Reduce64(x)
+		return r < MersennePrime61 && Reduce64(r) == r
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModDistributes(t *testing.T) {
+	// a·(b+c) = a·b + a·c in GF(p).
+	err := quick.Check(func(a, b, c uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		c %= MersennePrime61
+		return MulMod(a, AddMod(b, c)) == AddMod(MulMod(a, b), MulMod(a, c))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package hashing
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := new(big.Int).SetUint64(MersennePrime61)
+	for i := 0; i < 2000; i++ {
+		a := randField(rng)
+		b := randField(rng)
+		got := mulMod(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		if want.Uint64() != got {
+			t.Fatalf("mulMod(%d,%d) = %d, want %s", a, b, got, want)
+		}
+	}
+}
+
+func TestMulModEdgeCases(t *testing.T) {
+	pm1 := MersennePrime61 - 1
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {0, pm1}, {1, pm1}, {pm1, pm1}, {pm1, 1},
+		{MersennePrime61 / 2, 2}, {MersennePrime61/2 + 1, 2},
+	}
+	p := new(big.Int).SetUint64(MersennePrime61)
+	for _, c := range cases {
+		got := mulMod(c.a, c.b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(c.a), new(big.Int).SetUint64(c.b))
+		want.Mod(want, p)
+		if want.Uint64() != got {
+			t.Fatalf("mulMod(%d,%d) = %d, want %s", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestAddModStaysInField(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		s := addMod(a, b)
+		return s < MersennePrime61 && s == (a+b)%MersennePrime61
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWiseDeterministic(t *testing.T) {
+	h1 := NewKWise(rand.New(rand.NewSource(42)), 5)
+	h2 := NewKWise(rand.New(rand.NewSource(42)), 5)
+	for x := uint64(0); x < 100; x++ {
+		if h1.Eval(x) != h2.Eval(x) {
+			t.Fatal("same seed must give same hash")
+		}
+	}
+	h3 := NewKWise(rand.New(rand.NewSource(43)), 5)
+	same := 0
+	for x := uint64(0); x < 100; x++ {
+		if h1.Eval(x) == h3.Eval(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds nearly identical: %d/100 equal", same)
+	}
+}
+
+func TestKWiseDegree(t *testing.T) {
+	h := NewKWise(rand.New(rand.NewSource(1)), 7)
+	if h.Degree() != 7 {
+		t.Fatalf("Degree = %d", h.Degree())
+	}
+}
+
+func TestKWiseConstantPolynomialIsConstant(t *testing.T) {
+	h := &KWise{coeffs: []uint64{12345}}
+	for x := uint64(0); x < 50; x++ {
+		if h.Eval(x) != 12345 {
+			t.Fatal("degree-0 polynomial must be constant")
+		}
+	}
+}
+
+func TestKWiseLinearPolynomial(t *testing.T) {
+	// h(x) = 3x + 7 mod p.
+	h := &KWise{coeffs: []uint64{7, 3}}
+	for x := uint64(0); x < 100; x++ {
+		want := (3*x + 7) % MersennePrime61
+		if h.Eval(x) != want {
+			t.Fatalf("Eval(%d) = %d, want %d", x, h.Eval(x), want)
+		}
+	}
+}
+
+func TestKWiseUniformityRough(t *testing.T) {
+	h := NewKWise(rand.New(rand.NewSource(9)), 4)
+	const n = 20000
+	half := 0
+	for x := uint64(0); x < n; x++ {
+		if h.Eval(x) < MersennePrime61/2 {
+			half++
+		}
+	}
+	if half < n*45/100 || half > n*55/100 {
+		t.Fatalf("poor uniformity: %d/%d below median", half, n)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	for _, phi := range []float64{0.01, 0.1, 0.5, 0.9} {
+		b := NewBernoulli(rand.New(rand.NewSource(int64(phi*1000))), 8, phi)
+		const n = 50000
+		hits := 0
+		for x := uint64(0); x < n; x++ {
+			if b.Sample(x) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if got < phi-0.02 || got > phi+0.02 {
+			t.Fatalf("phi=%v: empirical rate %v", phi, got)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	b := NewBernoulli(rand.New(rand.NewSource(1)), 4, 1.0)
+	for x := uint64(0); x < 100; x++ {
+		if !b.Sample(x) {
+			t.Fatal("phi=1 must always sample")
+		}
+	}
+	b0 := NewBernoulli(rand.New(rand.NewSource(1)), 4, 0)
+	for x := uint64(0); x < 100; x++ {
+		if b0.Sample(x) {
+			t.Fatal("phi=0 must never sample")
+		}
+	}
+	bc := NewBernoulli(rand.New(rand.NewSource(1)), 4, 2.5) // clamped
+	if bc.Phi() != 1 {
+		t.Fatal("phi must clamp to 1")
+	}
+}
+
+func TestBernoulliPairwiseIndependenceRough(t *testing.T) {
+	// For a pairwise-independent Bernoulli(1/2), Pr[h(x)=h(y)=1] ≈ 1/4.
+	b := NewBernoulli(rand.New(rand.NewSource(3)), 2, 0.5)
+	const n = 300
+	both, tot := 0, 0
+	for x := uint64(0); x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			tot++
+			if b.Sample(x) && b.Sample(y) {
+				both++
+			}
+		}
+	}
+	got := float64(both) / float64(tot)
+	if got < 0.18 || got > 0.32 {
+		t.Fatalf("pairwise joint rate %v, want ≈ 0.25", got)
+	}
+}
+
+func TestFingerprintNoCollisionsOnSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := NewFingerprint(rng)
+	seen := make(map[uint64][]int64)
+	for i := 0; i < 50000; i++ {
+		coords := []int64{rng.Int63n(1 << 20), rng.Int63n(1 << 20), rng.Int63n(1 << 20)}
+		k := f.Key(coords)
+		if prev, ok := seen[k]; ok {
+			if prev[0] != coords[0] || prev[1] != coords[1] || prev[2] != coords[2] {
+				t.Fatalf("fingerprint collision: %v vs %v", prev, coords)
+			}
+		}
+		seen[k] = coords
+	}
+}
+
+func TestFingerprintOrderSensitive(t *testing.T) {
+	f := NewFingerprint(rand.New(rand.NewSource(5)))
+	a := f.Key([]int64{1, 2})
+	b := f.Key([]int64{2, 1})
+	if a == b {
+		t.Fatal("fingerprint must be order sensitive")
+	}
+	if f.Key([]int64{1, 2}) != a {
+		t.Fatal("fingerprint must be deterministic")
+	}
+}
+
+func TestFingerprintKeysBelowPrime(t *testing.T) {
+	f := NewFingerprint(rand.New(rand.NewSource(8)))
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		coords := []int64{rng.Int63(), rng.Int63()}
+		if k := f.Key(coords); k >= MersennePrime61 {
+			t.Fatalf("key %d out of field", k)
+		}
+		if k2 := f.Key2(uint64(rng.Int63()), uint64(rng.Int63())); k2 >= MersennePrime61 {
+			t.Fatalf("key2 %d out of field", k2)
+		}
+	}
+}
+
+func TestKey2DistinguishesTagAndKey(t *testing.T) {
+	f := NewFingerprint(rand.New(rand.NewSource(5)))
+	if f.Key2(1, 2) == f.Key2(2, 1) {
+		t.Fatal("Key2 must distinguish (1,2) from (2,1)")
+	}
+	if f.Key2(1, 2) == f.Key2(1, 3) {
+		t.Fatal("Key2 must distinguish keys")
+	}
+}
+
+func TestMix64Bijectivity(t *testing.T) {
+	seen := make(map[uint64]bool, 10000)
+	for x := uint64(0); x < 10000; x++ {
+		v := Mix64(x)
+		if seen[v] {
+			t.Fatal("Mix64 collision on small range — not a permutation?")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,206 @@
+// Package jl implements the dimension-reduction front end the paper
+// invokes for high-dimensional inputs (Section 1: "if d is much larger
+// than k/ε, we can apply [MMR19] to reduce the dimension to poly(k/ε);
+// then our streaming algorithm only needs d·poly(k log Δ) space").
+//
+// [MMR19] (Makarychev–Makarychev–Razenshteyn) proves that a standard
+// Johnson–Lindenstrauss projection to m = O(ε⁻²·log(k/ε)) dimensions
+// preserves the cost of EVERY k-means/k-median clustering (not just
+// pairwise distances) to 1±ε. This package provides the classic Gaussian
+// JL transform together with the re-quantization onto an integer grid
+// that the coreset machinery requires, and the lift that turns a
+// clustering of the reduced points back into original-space centers
+// (assign in the reduced space, recenter in the original space — the
+// standard way to consume a dimension-reduced clustering).
+package jl
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+)
+
+// Transform is a Gaussian JL projection R^d → R^m composed with an
+// affine quantization onto the integer grid [1, Δ']^m.
+type Transform struct {
+	D, M  int
+	Delta int64 // target grid bound Δ'
+
+	mat    [][]float64 // m × d, entries N(0, 1/m)
+	offset []float64   // per-output-coordinate shift
+	scale  float64     // uniform scale into the grid
+}
+
+// TargetDim returns the [MMR19] dimension m = ⌈C·log(k/ε+2)/ε²⌉ with a
+// small practical constant, clamped to [4, d].
+func TargetDim(k int, eps float64, d int) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.5
+	}
+	m := int(math.Ceil(4 * math.Log(float64(k)/eps+2) / (eps * eps)))
+	if m < 4 {
+		m = 4
+	}
+	if m > d {
+		m = d
+	}
+	return m
+}
+
+// Fit draws a projection and calibrates the quantization so that the
+// projections of ps fill [1, delta]^m. The same Transform must be used
+// for every subsequent point (centers, stream updates) so that all
+// geometry lives in one coordinate frame.
+func Fit(rng *rand.Rand, ps geo.PointSet, m int, delta int64) (*Transform, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("jl: empty input")
+	}
+	d := ps.Dim()
+	if m < 1 || m > d {
+		return nil, errors.New("jl: target dimension out of range")
+	}
+	if delta < 4 {
+		return nil, errors.New("jl: target grid too small")
+	}
+	t := &Transform{D: d, M: m, Delta: delta}
+	t.mat = make([][]float64, m)
+	inv := 1 / math.Sqrt(float64(m))
+	for i := range t.mat {
+		t.mat[i] = make([]float64, d)
+		for j := range t.mat[i] {
+			t.mat[i][j] = rng.NormFloat64() * inv
+		}
+	}
+	// Calibrate offset/scale from the projected bounding box, with 5%
+	// margin so near-boundary points (and centers between them) stay
+	// on-grid.
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	buf := make([]float64, m)
+	for _, p := range ps {
+		t.project(p, buf)
+		for i, v := range buf {
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	maxRange := 0.0
+	for i := range lo {
+		if r := hi[i] - lo[i]; r > maxRange {
+			maxRange = r
+		}
+	}
+	if maxRange == 0 {
+		maxRange = 1
+	}
+	margin := 0.05 * maxRange
+	t.offset = make([]float64, m)
+	for i := range t.offset {
+		t.offset[i] = lo[i] - margin
+	}
+	// One uniform scale for all coordinates keeps the projection a
+	// similarity (distances scale by a single factor), which is what
+	// cost comparisons need.
+	t.scale = float64(delta-1) / (maxRange + 2*margin)
+	return t, nil
+}
+
+func (t *Transform) project(p geo.Point, out []float64) {
+	for i := 0; i < t.M; i++ {
+		var s float64
+		row := t.mat[i]
+		for j, c := range p {
+			s += row[j] * float64(c)
+		}
+		out[i] = s
+	}
+}
+
+// Apply maps an original point to the reduced grid. Points far outside
+// the fitted range are clamped to the grid boundary.
+func (t *Transform) Apply(p geo.Point) geo.Point {
+	if len(p) != t.D {
+		panic("jl: wrong input dimension")
+	}
+	buf := make([]float64, t.M)
+	t.project(p, buf)
+	out := make(geo.Point, t.M)
+	for i, v := range buf {
+		q := int64(math.Round((v-t.offset[i])*t.scale)) + 1
+		if q < 1 {
+			q = 1
+		}
+		if q > t.Delta {
+			q = t.Delta
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// ApplyAll maps a whole point set.
+func (t *Transform) ApplyAll(ps geo.PointSet) geo.PointSet {
+	out := make(geo.PointSet, len(ps))
+	for i, p := range ps {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Scale returns the multiplicative factor by which the transform scales
+// distances (original-space distances map to ≈ Scale × themselves in the
+// reduced grid, up to the 1±ε JL distortion).
+func (t *Transform) Scale() float64 { return t.scale }
+
+// LiftCenters converts a clustering of reduced points back to
+// original-space centers: every original point is assigned to the
+// cluster of its reduced image, and each cluster is recentered in the
+// original space (weighted centroid for r = 2). [MMR19] guarantees the
+// resulting original-space clustering costs within 1±ε of the reduced
+// one, which is exactly how a dimension-reduced coreset is consumed.
+func LiftCenters(t *Transform, original geo.PointSet, reducedCenters []geo.Point, delta int64) []geo.Point {
+	k := len(reducedCenters)
+	sums := make([][]float64, k)
+	counts := make([]float64, k)
+	d := original.Dim()
+	for i := range sums {
+		sums[i] = make([]float64, d)
+	}
+	for _, p := range original {
+		img := t.Apply(p)
+		_, j := geo.DistToSet(img, reducedCenters)
+		for c := 0; c < d; c++ {
+			sums[j][c] += float64(p[c])
+		}
+		counts[j]++
+	}
+	out := make([]geo.Point, k)
+	for j := range out {
+		if counts[j] == 0 {
+			// Empty cluster: fall back to the preimage-free best effort —
+			// the grid center.
+			mid := make(geo.Point, d)
+			for c := range mid {
+				mid[c] = delta / 2
+			}
+			out[j] = mid
+			continue
+		}
+		c := make([]float64, d)
+		for i := range c {
+			c[i] = sums[j][i] / counts[j]
+		}
+		out[j] = geo.RoundToGrid(c, delta)
+	}
+	return out
+}

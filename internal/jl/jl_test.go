@@ -1,0 +1,183 @@
+package jl
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/workload"
+)
+
+func highDimMixture(seed int64, n, d int) (geo.PointSet, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	m := workload.Mixture{N: n, D: d, Delta: 1 << 10, K: 3, Spread: 10}
+	return m.Generate(rng)
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Fit(rng, nil, 4, 256); err == nil {
+		t.Fatal("empty input must error")
+	}
+	ps, _ := highDimMixture(1, 50, 16)
+	if _, err := Fit(rng, ps, 0, 256); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := Fit(rng, ps, 17, 256); err == nil {
+		t.Fatal("m>d must error")
+	}
+	if _, err := Fit(rng, ps, 4, 2); err == nil {
+		t.Fatal("tiny delta must error")
+	}
+}
+
+func TestTargetDim(t *testing.T) {
+	if m := TargetDim(10, 0.5, 1000); m < 4 || m > 1000 {
+		t.Fatalf("m = %d", m)
+	}
+	// Tighter ε ⇒ more dimensions.
+	if TargetDim(10, 0.2, 1000) <= TargetDim(10, 0.5, 1000) {
+		t.Fatal("target dim must grow as ε shrinks")
+	}
+	// Clamp at d.
+	if TargetDim(10, 0.05, 8) != 8 {
+		t.Fatal("must clamp at d")
+	}
+	// Garbage ε handled.
+	if TargetDim(10, -1, 100) < 4 {
+		t.Fatal("bad eps must fall back")
+	}
+}
+
+func TestOutputOnGrid(t *testing.T) {
+	ps, _ := highDimMixture(2, 400, 32)
+	tr, err := Fit(rand.New(rand.NewSource(2)), ps, 6, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.ApplyAll(ps) {
+		if len(p) != 6 {
+			t.Fatalf("wrong output dim %d", len(p))
+		}
+		if !p.InRange(512) {
+			t.Fatalf("off-grid point %v", p)
+		}
+	}
+}
+
+func TestDistancePreservation(t *testing.T) {
+	// JL with m=16 preserves pairwise distances of a 64-dim set to
+	// moderate distortion; check the empirical distortion band after
+	// unscaling.
+	ps, _ := highDimMixture(3, 300, 64)
+	tr, err := Fit(rand.New(rand.NewSource(3)), ps, 16, 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := tr.ApplyAll(ps)
+	var ratios []float64
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(len(ps)), rng.Intn(len(ps))
+		dOrig := geo.Dist(ps[i], ps[j])
+		if dOrig < 20 {
+			continue // quantization noise dominates tiny distances
+		}
+		dRed := geo.Dist(red[i], red[j]) / tr.Scale()
+		ratios = append(ratios, dRed/dOrig)
+	}
+	if len(ratios) < 100 {
+		t.Fatal("too few usable pairs")
+	}
+	var sum float64
+	within := 0
+	for _, r := range ratios {
+		sum += r
+		if r > 0.7 && r < 1.3 {
+			within++
+		}
+	}
+	mean := sum / float64(len(ratios))
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("mean distortion %v", mean)
+	}
+	// With m = 16 the per-pair distortion std is ≈ 1/√(2m) ≈ 0.18; the
+	// bulk must concentrate while rare tails are expected.
+	if frac := float64(within) / float64(len(ratios)); frac < 0.85 {
+		t.Fatalf("only %.1f%% of pairs within 30%% distortion", 100*frac)
+	}
+}
+
+func TestClusterStructureSurvives(t *testing.T) {
+	// The [MMR19] use case: clusters separated in 64 dimensions stay
+	// separated after projecting to 8.
+	ps, truec := highDimMixture(5, 900, 64)
+	tr, err := Fit(rand.New(rand.NewSource(5)), ps, 8, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := tr.ApplyAll(ps)
+	redCenters := tr.ApplyAll(geo.PointSet(truec))
+	// Nearest-center assignment must agree before and after projection
+	// for the overwhelming majority of points.
+	agree := 0
+	for i, p := range ps {
+		_, a := geo.DistToSet(p, truec)
+		_, b := geo.DistToSet(red[i], redCenters)
+		if a == b {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(ps)); frac < 0.97 {
+		t.Fatalf("cluster memberships survive for only %.1f%%", 100*frac)
+	}
+}
+
+func TestLiftCenters(t *testing.T) {
+	ps, truec := highDimMixture(6, 600, 48)
+	tr, err := Fit(rand.New(rand.NewSource(6)), ps, 8, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redCenters := tr.ApplyAll(geo.PointSet(truec))
+	lifted := LiftCenters(tr, ps, redCenters, 1<<10)
+	if len(lifted) != len(truec) {
+		t.Fatalf("lifted %d centers", len(lifted))
+	}
+	// Each lifted center must land near its true counterpart (same
+	// cluster's centroid ≈ mean ≈ true center for tight mixtures).
+	for j, z := range lifted {
+		if len(z) != 48 {
+			t.Fatalf("lifted center dim %d", len(z))
+		}
+		d := geo.Dist(z, truec[j])
+		if d > 30 { // spread is 10; centroid error ≪ spread·√d
+			t.Fatalf("lifted center %d is %v away from truth", j, d)
+		}
+	}
+}
+
+func TestApplyDimensionPanic(t *testing.T) {
+	ps, _ := highDimMixture(7, 50, 16)
+	tr, err := Fit(rand.New(rand.NewSource(7)), ps, 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Apply(geo.Point{1, 2, 3})
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	ps, _ := highDimMixture(8, 100, 24)
+	a, _ := Fit(rand.New(rand.NewSource(9)), ps, 6, 512)
+	b, _ := Fit(rand.New(rand.NewSource(9)), ps, 6, 512)
+	for i, p := range ps {
+		if !a.Apply(p).Equal(b.Apply(p)) {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package metrics provides the small reporting toolkit the experiment
+// harness uses: aligned text tables (one per reproduced table/figure) and
+// basic summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's result table, rendered as aligned text by the
+// bench harness and cmd/bcbench.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string
+	Note   string // one-line interpretation aid
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table.
+func New(id, title string, header ...string) *Table {
+	return &Table{ID: id, Title: title, Header: header}
+}
+
+// Add appends a row; cells beyond the header length panic.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("metrics: row has %d cells, header has %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float compactly: integers plainly, small values with 3
+// significant digits, large ones in scientific notation.
+func F(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// I formats an integer.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Bytes formats a byte count human-readably.
+func Bytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Summary holds basic order statistics.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+}
+
+// Summarize computes summary statistics; it panics on empty input.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		panic("metrics: Summarize of empty slice")
+	}
+	s := Summary{N: len(vs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(vs))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

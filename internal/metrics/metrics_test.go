@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("E0", "demo", "a", "bb", "ccc")
+	tb.Note = "interpretation"
+	tb.Add("1", "2", "3")
+	tb.Add("10", "20", "30")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"E0", "demo", "interpretation", "bb", "20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the same prefix width for col 0.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := New("E0", "demo", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		3.14159:  "3.142",
+		1e9:      "1e+09",
+		0.000001: "1e-06",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Fatalf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if F(math.Inf(1)) != "inf" || F(math.NaN()) != "nan" {
+		t.Fatal("special values")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if Bytes(512) != "512B" {
+		t.Fatal(Bytes(512))
+	}
+	if Bytes(2048) != "2.00KiB" {
+		t.Fatal(Bytes(2048))
+	}
+	if Bytes(3<<20) != "3.00MiB" {
+		t.Fatal(Bytes(3 << 20))
+	}
+	if Bytes(5<<30) != "5.00GiB" {
+		t.Fatal(Bytes(5 << 30))
+	}
+}
+
+func TestPctAndI(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Fatal(Pct(0.1234))
+	}
+	if I(42) != "42" {
+		t.Fatal(I(42))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.Median != 2 || s.N != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	s = Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Fatalf("even median %v", s.Median)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty")
+		}
+	}()
+	Summarize(nil)
+}

@@ -1,0 +1,38 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSparseUpdate(b *testing.B) {
+	for _, s := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			sr := NewSparseRecovery(rand.New(rand.NewSource(1)), s, 0.01, 2)
+			payload := []int64{7, 9}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr.Update(uint64(i), payload, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkSparseDecode(b *testing.B) {
+	for _, s := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			sr := NewSparseRecovery(rng, s, 0.01, 2)
+			for i := 0; i < s; i++ {
+				sr.Update(uint64(rng.Int63()), []int64{1, 2}, 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := sr.Decode(); !ok {
+					b.Fatal("decode failed")
+				}
+			}
+		})
+	}
+}

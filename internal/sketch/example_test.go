@@ -1,0 +1,53 @@
+package sketch_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/sketch"
+)
+
+// ExampleStoring shows the Lemma 4.2 contract: after arbitrary
+// insertions and deletions, the sketch reports the surviving cells,
+// counts and points exactly — or FAILs, never lies.
+func ExampleStoring() {
+	rng := rand.New(rand.NewSource(1))
+	g := grid.New(64, 2, rng)
+	st := sketch.NewStoring(rng, g, 2, 32, 16, 0.01)
+
+	st.Insert(geo.Point{10, 10})
+	st.Insert(geo.Point{10, 11})
+	st.Insert(geo.Point{50, 50})
+	st.Delete(geo.Point{50, 50}) // cancelled exactly
+
+	res, ok := st.Result()
+	fmt.Println("decoded:", ok)
+	fmt.Println("surviving points:", len(res.Points))
+	var total int64
+	for _, c := range res.Cells {
+		total += c.Count
+	}
+	fmt.Println("cell mass:", total)
+	// Output:
+	// decoded: true
+	// surviving points: 2
+	// cell mass: 2
+}
+
+// ExampleSparseRecovery demonstrates the linear s-sparse recovery core.
+func ExampleSparseRecovery() {
+	rng := rand.New(rand.NewSource(2))
+	sr := sketch.NewSparseRecovery(rng, 4, 0.01, 0)
+	sr.Update(7, nil, 3)
+	sr.Update(9, nil, 1)
+	sr.Update(9, nil, -1) // key 9 vanishes
+
+	items, ok := sr.Decode()
+	fmt.Println("ok:", ok, "items:", len(items))
+	fmt.Println("key:", items[0].Key, "count:", items[0].Count)
+	// Output:
+	// ok: true items: 1
+	// key: 7 count: 3
+}

@@ -1,0 +1,88 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/hashing"
+)
+
+// F0 estimates the number of DISTINCT keys with nonzero net count in a
+// dynamic stream (insertions and deletions), in small space. It keeps a
+// geometric ladder of sparse-recovery sketches, level j subsampling keys
+// with probability 2^{−j} (pairwise-independently): at decode time the
+// finest level that decodes gives the distinct count scaled by 2^{j} —
+// the classic sparse-recovery realization of F₀ estimation under
+// deletions, the primitive the [HSYZ18] streaming cost estimator counts
+// non-empty grid cells with.
+type F0 struct {
+	levels  []*SparseRecovery
+	samp    []*hashing.KWise
+	s       int // per-level sparsity
+	maxKeys float64
+}
+
+// NewF0 creates an estimator able to handle up to maxKeys distinct keys
+// with relative error ≈ 1/√s per ladder level.
+func NewF0(rng *rand.Rand, maxKeys int64, s int, delta float64) *F0 {
+	if s < 16 {
+		s = 16
+	}
+	depth := 2
+	for (int64(1)<<(depth-1))*int64(s)/4 < maxKeys {
+		depth++
+	}
+	f := &F0{s: s, maxKeys: float64(maxKeys)}
+	for j := 0; j < depth; j++ {
+		f.levels = append(f.levels, NewSparseRecovery(rng, s, delta/float64(depth), 0))
+		f.samp = append(f.samp, hashing.NewKWise(rng, 2))
+	}
+	return f
+}
+
+// Update applies a key-count delta.
+func (f *F0) Update(key uint64, delta int64) {
+	key = hashing.Reduce64(key)
+	for j := range f.levels {
+		if j > 0 {
+			// Key survives to level j with probability 2^{−j}: its level-
+			// assignment hash must fall in the lowest p/2^j band.
+			h := f.samp[j].Eval(key)
+			if h >= hashing.MersennePrime61>>uint(j) {
+				continue
+			}
+		}
+		f.levels[j].Update(key, nil, delta)
+	}
+}
+
+// Estimate returns the estimated distinct-key count. ok is false when
+// even the sparsest ladder level is over-full (maxKeys undersized).
+func (f *F0) Estimate() (float64, bool) {
+	for j := range f.levels {
+		items, decoded := f.levels[j].Decode()
+		if !decoded {
+			continue
+		}
+		live := 0
+		for _, it := range items {
+			if it.Count != 0 {
+				live++
+			}
+		}
+		if j == 0 {
+			return float64(live), true // exact when the full set fits
+		}
+		return float64(live) * math.Exp2(float64(j)), true
+	}
+	return 0, false
+}
+
+// Bytes reports the ladder's memory footprint.
+func (f *F0) Bytes() int64 {
+	var b int64
+	for _, l := range f.levels {
+		b += l.Bytes()
+	}
+	return b
+}

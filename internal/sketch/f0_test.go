@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestF0ExactWhenSmall(t *testing.T) {
+	f := NewF0(rand.New(rand.NewSource(1)), 1<<20, 64, 0.01)
+	for i := 0; i < 40; i++ {
+		f.Update(uint64(i*7+1), 1)
+		f.Update(uint64(i*7+1), 2) // duplicates must not inflate F0
+	}
+	got, ok := f.Estimate()
+	if !ok || got != 40 {
+		t.Fatalf("estimate %v ok=%v, want exactly 40", got, ok)
+	}
+}
+
+func TestF0LargeApproximation(t *testing.T) {
+	for _, n := range []int{5000, 50000} {
+		f := NewF0(rand.New(rand.NewSource(2)), 1<<20, 256, 0.01)
+		for i := 0; i < n; i++ {
+			f.Update(uint64(i)*2654435761+17, 1)
+		}
+		got, ok := f.Estimate()
+		if !ok {
+			t.Fatalf("n=%d: estimate failed", n)
+		}
+		if math.Abs(got-float64(n)) > 0.25*float64(n) {
+			t.Fatalf("n=%d: estimate %v off by more than 25%%", n, got)
+		}
+	}
+}
+
+func TestF0Deletions(t *testing.T) {
+	f := NewF0(rand.New(rand.NewSource(3)), 1<<20, 128, 0.01)
+	// Insert 20000 keys, delete all but 50.
+	for i := 0; i < 20000; i++ {
+		f.Update(uint64(i+1), 1)
+	}
+	for i := 50; i < 20000; i++ {
+		f.Update(uint64(i+1), -1)
+	}
+	got, ok := f.Estimate()
+	if !ok || got != 50 {
+		t.Fatalf("after deletions: estimate %v ok=%v, want exactly 50", got, ok)
+	}
+}
+
+func TestF0FullCancellation(t *testing.T) {
+	f := NewF0(rand.New(rand.NewSource(4)), 1<<10, 32, 0.01)
+	for i := 0; i < 500; i++ {
+		f.Update(uint64(i+1), 1)
+	}
+	for i := 0; i < 500; i++ {
+		f.Update(uint64(i+1), -1)
+	}
+	got, ok := f.Estimate()
+	if !ok || got != 0 {
+		t.Fatalf("cancelled stream: estimate %v ok=%v", got, ok)
+	}
+}
+
+func TestF0UndersizedFails(t *testing.T) {
+	// maxKeys sized for 64 keys; feed 100000.
+	f := NewF0(rand.New(rand.NewSource(5)), 64, 16, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.Update(uint64(i+1), 1)
+	}
+	if est, ok := f.Estimate(); ok && est < 50000 {
+		t.Fatalf("undersized ladder returned a confident wrong answer: %v", est)
+	}
+}
+
+func TestF0BytesBounded(t *testing.T) {
+	f := NewF0(rand.New(rand.NewSource(6)), 1<<30, 128, 0.01)
+	if f.Bytes() <= 0 || f.Bytes() > 32<<20 {
+		t.Fatalf("bytes = %d", f.Bytes())
+	}
+}

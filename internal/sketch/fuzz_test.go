@@ -1,0 +1,55 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzSparseRecoveryNeverWrong drives a sketch with an arbitrary update
+// script and checks the cardinal invariant: Decode either FAILs or
+// returns exactly the true vector. The script bytes encode (key, delta)
+// pairs.
+func FuzzSparseRecoveryNeverWrong(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 1, 3, 1})
+	f.Add([]byte{1, 1, 1, 255, 2, 3})
+	f.Add([]byte{})
+	f.Add([]byte{9, 200, 9, 56, 4, 4, 4, 252})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		sr := NewSparseRecovery(rand.New(rand.NewSource(7)), 8, 0.01, 1)
+		want := map[uint64]int64{}
+		for i := 0; i+1 < len(script); i += 2 {
+			key := uint64(script[i]%32) + 1
+			delta := int64(int8(script[i+1]))
+			if delta == 0 {
+				continue
+			}
+			sr.Update(key, []int64{int64(key) * 3}, delta)
+			want[key] += delta
+			if want[key] == 0 {
+				delete(want, key)
+			}
+		}
+		items, ok := sr.Decode()
+		if !ok {
+			if len(want) <= 8 {
+				t.Fatalf("spurious FAIL on %d-sparse vector", len(want))
+			}
+			return
+		}
+		got := map[uint64]int64{}
+		for _, it := range items {
+			got[it.Key] = it.Count
+			if it.Payload[0] != int64(it.Key)*3 {
+				t.Fatalf("payload corrupted for key %d", it.Key)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d keys, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("key %d: got %d want %d", k, got[k], v)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package sketch implements the linear sketches behind the dynamic
+// streaming algorithm of Section 4: an s-sparse recovery structure over
+// keyed integer vectors, and the Storing(G_i, α, β, δ) subroutine of
+// Lemma 4.2 built on top of it.
+//
+// A sparse-recovery sketch maintains, under arbitrary interleaved
+// insertions and deletions, a vector x indexed by 64-bit field keys. If at
+// decode time x has at most s nonzero entries, Decode recovers all of them
+// exactly (with their integer payload vectors, e.g. point coordinates or
+// cell indices) with high probability; otherwise it reports failure —
+// never a wrong answer, matching the FAIL contract of Lemma 4.2.
+package sketch
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/hashing"
+)
+
+// Item is one recovered nonzero entry of the sketched vector.
+type Item struct {
+	Key     uint64  // field key identifying the entry
+	Count   int64   // net multiplicity after all insertions/deletions
+	Payload []int64 // payload vector (count-weighted sums divided out)
+}
+
+// bucket accumulates one cell of one hash row.
+type bucket struct {
+	count   int64
+	keySum  uint64 // Σ count·key   (mod p)
+	fpSum   uint64 // Σ count·fp(key) (mod p)
+	payload []int64
+}
+
+// SparseRecovery is an s-sparse recovery sketch with an optional integer
+// payload of fixed dimension attached to every key. All operations are
+// linear, so the structure supports deletions (negative updates) natively
+// and two sketches over the same hash functions can be merged by addition.
+type SparseRecovery struct {
+	s          int // sparsity budget
+	rows       int
+	width      int
+	payloadDim int
+
+	rowHash []*hashing.KWise // bucket placement, one per row
+	fpHash  *hashing.KWise   // key fingerprint shared by all rows
+
+	buckets [][]bucket
+}
+
+// NewSparseRecovery creates a sketch that recovers any vector with at most
+// s nonzero keys with failure probability ≈ δ. payloadDim is the length of
+// the payload vector attached to each key (0 for none).
+func NewSparseRecovery(rng *rand.Rand, s int, delta float64, payloadDim int) *SparseRecovery {
+	if s < 1 {
+		s = 1
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	// Peeling over independent rows of 2s buckets is an IBLT-style
+	// hypergraph core computation: at load factor 1/2 per row, 4 rows
+	// decode an s-sparse vector with high probability, and each extra row
+	// multiplies the failure probability by a constant < 1/4.
+	rows := 4
+	if extra := int(math.Ceil(math.Log2(0.01/delta) / 4)); extra > 0 {
+		rows += extra
+	}
+	sr := &SparseRecovery{
+		s:          s,
+		rows:       rows,
+		width:      2 * s,
+		payloadDim: payloadDim,
+		rowHash:    make([]*hashing.KWise, rows),
+		fpHash:     hashing.NewKWise(rng, 4),
+		buckets:    make([][]bucket, rows),
+	}
+	for r := 0; r < rows; r++ {
+		sr.rowHash[r] = hashing.NewKWise(rng, 2)
+		sr.buckets[r] = make([]bucket, sr.width)
+		if payloadDim > 0 {
+			for c := range sr.buckets[r] {
+				sr.buckets[r][c].payload = make([]int64, payloadDim)
+			}
+		}
+	}
+	return sr
+}
+
+// Sparsity returns the sparsity budget s.
+func (sr *SparseRecovery) Sparsity() int { return sr.s }
+
+// Update applies x[key] += delta, with the payload vector scaled by delta.
+// payload must have length payloadDim (nil allowed when payloadDim == 0).
+func (sr *SparseRecovery) Update(key uint64, payload []int64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	key = hashing.Reduce64(key)
+	df := hashing.ToField(delta)
+	fp := sr.fpHash.Eval(key)
+	for r := 0; r < sr.rows; r++ {
+		c := sr.rowHash[r].Eval(key) % uint64(sr.width)
+		b := &sr.buckets[r][c]
+		b.count += delta
+		b.keySum = hashing.AddMod(b.keySum, hashing.MulMod(df, key))
+		b.fpSum = hashing.AddMod(b.fpSum, hashing.MulMod(df, fp))
+		for j := 0; j < sr.payloadDim; j++ {
+			b.payload[j] += delta * payload[j]
+		}
+	}
+}
+
+// Merge adds the state of other into sr. The two sketches must have been
+// created with identical parameters and hash functions (i.e. other must be
+// a Clone sibling); Merge panics on shape mismatch.
+func (sr *SparseRecovery) Merge(other *SparseRecovery) {
+	if sr.rows != other.rows || sr.width != other.width || sr.payloadDim != other.payloadDim {
+		panic("sketch: merge shape mismatch")
+	}
+	for r := range sr.buckets {
+		for c := range sr.buckets[r] {
+			a, b := &sr.buckets[r][c], &other.buckets[r][c]
+			a.count += b.count
+			a.keySum = hashing.AddMod(a.keySum, b.keySum)
+			a.fpSum = hashing.AddMod(a.fpSum, b.fpSum)
+			for j := 0; j < sr.payloadDim; j++ {
+				a.payload[j] += b.payload[j]
+			}
+		}
+	}
+}
+
+// CloneEmpty returns a fresh sketch sharing sr's hash functions with all
+// buckets zeroed, suitable for later Merge.
+func (sr *SparseRecovery) CloneEmpty() *SparseRecovery {
+	cp := &SparseRecovery{
+		s: sr.s, rows: sr.rows, width: sr.width, payloadDim: sr.payloadDim,
+		rowHash: sr.rowHash, fpHash: sr.fpHash,
+		buckets: make([][]bucket, sr.rows),
+	}
+	for r := 0; r < sr.rows; r++ {
+		cp.buckets[r] = make([]bucket, sr.width)
+		if sr.payloadDim > 0 {
+			for c := range cp.buckets[r] {
+				cp.buckets[r][c].payload = make([]int64, sr.payloadDim)
+			}
+		}
+	}
+	return cp
+}
+
+// clone deep-copies the bucket state (hash functions shared).
+func (sr *SparseRecovery) clone() *SparseRecovery {
+	cp := sr.CloneEmpty()
+	for r := range sr.buckets {
+		for c := range sr.buckets[r] {
+			src, dst := &sr.buckets[r][c], &cp.buckets[r][c]
+			dst.count = src.count
+			dst.keySum = src.keySum
+			dst.fpSum = src.fpSum
+			copy(dst.payload, src.payload)
+		}
+	}
+	return cp
+}
+
+// pure checks whether b holds exactly one key and, if so, extracts it.
+func (sr *SparseRecovery) pure(b *bucket) (Item, bool) {
+	if b.count == 0 {
+		return Item{}, false
+	}
+	cf := hashing.ToField(b.count)
+	if cf == 0 {
+		return Item{}, false
+	}
+	key := hashing.MulMod(b.keySum, hashing.InvMod(cf))
+	if hashing.MulMod(cf, sr.fpHash.Eval(key)) != b.fpSum {
+		return Item{}, false
+	}
+	var payload []int64
+	if sr.payloadDim > 0 {
+		payload = make([]int64, sr.payloadDim)
+		for j := range payload {
+			if b.payload[j]%b.count != 0 {
+				return Item{}, false
+			}
+			payload[j] = b.payload[j] / b.count
+		}
+	}
+	return Item{Key: key, Count: b.count, Payload: payload}, true
+}
+
+// Decode recovers the full vector if it is ≤ s sparse. On success it
+// returns all nonzero items; on failure (over-full or an internal hash
+// verification failed) ok is false and items must be ignored. Decode does
+// not modify the sketch.
+func (sr *SparseRecovery) Decode() (items []Item, ok bool) {
+	w := sr.clone()
+	for {
+		progress := false
+		for r := 0; r < w.rows && len(items) <= w.s; r++ {
+			for c := 0; c < w.width; c++ {
+				it, pure := w.pure(&w.buckets[r][c])
+				if !pure {
+					continue
+				}
+				items = append(items, it)
+				w.Update(it.Key, it.Payload, -it.Count)
+				progress = true
+			}
+		}
+		if len(items) > w.s {
+			return nil, false
+		}
+		if !progress {
+			break
+		}
+	}
+	for r := range w.buckets {
+		for c := range w.buckets[r] {
+			if w.buckets[r][c].count != 0 || w.buckets[r][c].keySum != 0 {
+				return nil, false
+			}
+		}
+	}
+	return items, true
+}
+
+// Bytes reports the memory footprint of the bucket state in bytes — the
+// quantity the streaming space accounting of Theorem 4.5 measures.
+func (sr *SparseRecovery) Bytes() int64 {
+	perBucket := int64(8 * (3 + sr.payloadDim))
+	return int64(sr.rows) * int64(sr.width) * perBucket
+}

@@ -1,0 +1,191 @@
+package sketch
+
+import (
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+)
+
+// Storing is the dynamic-streaming subroutine Storing(G_i, α, β, δ) of
+// Lemma 4.2: over a stream of point insertions and deletions it maintains,
+// in O(αβ·d·log) space, enough linear-sketch state to report at the end of
+// the stream
+//
+//  1. the set C of all non-empty cells of grid level i,
+//  2. the exact number of points f(C) in each cell C ∈ C, and
+//  3. the set S of surviving points (with multiplicities),
+//
+// or FAIL. It never reports a wrong answer: if |C| ≤ α (and, when point
+// recovery is enabled, at most β points survive in the substream) the
+// report succeeds with high probability.
+//
+// β here bounds the total number of surviving points across the level
+// rather than per cell. That is the regime Algorithm 4 actually operates
+// the subroutine in: the β̂_i it passes is shown (Lemma 4.4) to bound the
+// *total* sampled points of level i with high probability, so a flat
+// β-sparse point recovery gives the same guarantee with the same FAIL
+// semantics. Pass β = 0 to disable point recovery (the h and h′ substreams
+// of Algorithm 4 only consume cell counts).
+type Storing struct {
+	g     *grid.Grid
+	level int
+	alpha int
+	beta  int
+
+	cells  *SparseRecovery // key: cell fingerprint; payload: cell index vector
+	points *SparseRecovery // key: point fingerprint; payload: coordinates
+	fp     *hashing.Fingerprint
+
+	netUpdates int64 // net insertions − deletions, for sanity checks
+}
+
+// CellCount is one recovered non-empty cell.
+type CellCount struct {
+	Key   uint64  // cell key as produced by grid.KeyOf(level, Index)
+	Index []int64 // cell index vector at the sketch's level
+	Count int64   // number of surviving points in the cell
+}
+
+// StoringResult is the end-of-stream report of a Storing instance.
+type StoringResult struct {
+	Level  int
+	Cells  []CellCount
+	Points []PointCount // empty when point recovery is disabled
+}
+
+// PointCount is a recovered surviving point with its multiplicity.
+type PointCount struct {
+	P     geo.Point
+	Count int64
+}
+
+// NewStoring creates a Storing instance for grid level `level` of g. alpha
+// bounds the number of distinct non-empty cells (0 disables cell
+// recovery — a points-only sketch, as the ĥ-substream of Algorithm 4
+// uses), beta the total number of surviving points to recover (0 disables
+// point recovery), delta the failure probability.
+func NewStoring(rng *rand.Rand, g *grid.Grid, level, alpha, beta int, delta float64) *Storing {
+	st := &Storing{
+		g:     g,
+		level: level,
+		alpha: alpha,
+		beta:  beta,
+		fp:    hashing.NewFingerprint(rng),
+	}
+	if alpha > 0 {
+		st.cells = NewSparseRecovery(rng, alpha, delta/2, g.Dim)
+	}
+	if beta > 0 {
+		st.points = NewSparseRecovery(rng, beta, delta/2, g.Dim)
+	}
+	return st
+}
+
+// Insert processes the stream update (p, +).
+func (st *Storing) Insert(p geo.Point) { st.update(p, +1) }
+
+// Delete processes the stream update (p, −). The stream contract of
+// Section 4.2 guarantees p is present; the sketch stays linear either way.
+func (st *Storing) Delete(p geo.Point) { st.update(p, -1) }
+
+func (st *Storing) update(p geo.Point, delta int64) {
+	if st.cells != nil {
+		idx := st.g.CellIndex(p, st.level)
+		st.cells.Update(st.g.KeyOf(st.level, idx), idx, delta)
+	}
+	if st.points != nil {
+		st.points.Update(st.fp.Key(p), p, delta)
+	}
+	st.netUpdates += delta
+}
+
+// Result decodes the sketch. ok is false on FAIL (too many cells or
+// points, or an internal verification failure); a false result carries no
+// partial information, matching Lemma 4.2.
+func (st *Storing) Result() (StoringResult, bool) {
+	res := StoringResult{Level: st.level}
+	if st.cells != nil {
+		items, ok := st.cells.Decode()
+		if !ok {
+			return StoringResult{}, false
+		}
+		for _, it := range items {
+			if it.Count < 0 {
+				return StoringResult{}, false // more deletions than insertions: corrupt stream
+			}
+			if it.Count == 0 {
+				continue
+			}
+			res.Cells = append(res.Cells, CellCount{Key: it.Key, Index: it.Payload, Count: it.Count})
+		}
+	}
+	if st.points != nil {
+		pitems, ok := st.points.Decode()
+		if !ok {
+			return StoringResult{}, false
+		}
+		for _, it := range pitems {
+			if it.Count < 0 {
+				return StoringResult{}, false
+			}
+			if it.Count == 0 {
+				continue
+			}
+			res.Points = append(res.Points, PointCount{P: geo.Point(it.Payload), Count: it.Count})
+		}
+	}
+	return res, true
+}
+
+// Merge adds another Storing instance's state into st. Both must have
+// been created from the same random source position (identical hash
+// functions) — i.e. be CloneEmpty siblings; Merge panics on shape
+// mismatch. Linearity makes the merged sketch equivalent to one that saw
+// both streams interleaved.
+func (st *Storing) Merge(other *Storing) {
+	if st.level != other.level || (st.cells == nil) != (other.cells == nil) ||
+		(st.points == nil) != (other.points == nil) {
+		panic("sketch: Storing merge shape mismatch")
+	}
+	if st.cells != nil {
+		st.cells.Merge(other.cells)
+	}
+	if st.points != nil {
+		st.points.Merge(other.points)
+	}
+	st.netUpdates += other.netUpdates
+}
+
+// CloneEmpty returns a zeroed Storing sharing st's hash functions, so the
+// clone can sketch a second stream and later be Merged back.
+func (st *Storing) CloneEmpty() *Storing {
+	cp := &Storing{g: st.g, level: st.level, alpha: st.alpha, beta: st.beta, fp: st.fp}
+	if st.cells != nil {
+		cp.cells = st.cells.CloneEmpty()
+	}
+	if st.points != nil {
+		cp.points = st.points.CloneEmpty()
+	}
+	return cp
+}
+
+// Bytes reports the sketch's memory footprint — the streaming space
+// accounted by Theorem 4.5.
+func (st *Storing) Bytes() int64 {
+	var b int64
+	if st.cells != nil {
+		b += st.cells.Bytes()
+	}
+	if st.points != nil {
+		b += st.points.Bytes()
+	}
+	return b
+}
+
+// Level returns the grid level this instance sketches.
+func (st *Storing) Level() int { return st.level }
+
+// NetUpdates returns the net number of surviving stream updates seen.
+func (st *Storing) NetUpdates() int64 { return st.netUpdates }

@@ -1,0 +1,193 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+)
+
+func buildGrid(t *testing.T, delta int64, dim int, seed int64) *grid.Grid {
+	t.Helper()
+	return grid.New(delta, dim, rand.New(rand.NewSource(seed)))
+}
+
+func TestStoringCellCountsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := buildGrid(t, 64, 2, 1)
+	st := NewStoring(rng, g, 3, 128, 0, 0.01)
+
+	pts := make(geo.PointSet, 200)
+	for i := range pts {
+		pts[i] = geo.Point{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+		st.Insert(pts[i])
+	}
+	want := map[uint64]int64{}
+	for _, p := range pts {
+		want[g.CellKey(p, 3)]++
+	}
+	res, ok := st.Result()
+	if !ok {
+		t.Fatal("Result FAILed on in-budget input")
+	}
+	if len(res.Cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(want))
+	}
+	for _, cc := range res.Cells {
+		if want[cc.Key] != cc.Count {
+			t.Fatalf("cell %d: count %d, want %d", cc.Key, cc.Count, want[cc.Key])
+		}
+		// Index payload must regenerate the same key.
+		if g.KeyOf(3, cc.Index) != cc.Key {
+			t.Fatal("recovered index does not regenerate the cell key")
+		}
+	}
+}
+
+func TestStoringPointRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := buildGrid(t, 32, 3, 2)
+	st := NewStoring(rng, g, 2, 64, 32, 0.01)
+
+	inserted := map[string]int64{}
+	var pts geo.PointSet
+	for i := 0; i < 20; i++ {
+		p := geo.Point{1 + rng.Int63n(32), 1 + rng.Int63n(32), 1 + rng.Int63n(32)}
+		pts = append(pts, p)
+		inserted[p.String()]++
+		st.Insert(p)
+	}
+	res, ok := st.Result()
+	if !ok {
+		t.Fatal("FAIL on 20 points with beta=32")
+	}
+	got := map[string]int64{}
+	for _, pc := range res.Points {
+		got[pc.P.String()] += pc.Count
+	}
+	if len(got) != len(inserted) {
+		t.Fatalf("recovered %d distinct points, want %d", len(got), len(inserted))
+	}
+	for k, c := range inserted {
+		if got[k] != c {
+			t.Fatalf("point %s: count %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestStoringInsertDeleteChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := buildGrid(t, 128, 2, 3)
+	st := NewStoring(rng, g, 4, 32, 16, 0.01)
+
+	// Heavy churn: insert 3000 points, delete all but 8.
+	var all geo.PointSet
+	for i := 0; i < 3000; i++ {
+		p := geo.Point{1 + rng.Int63n(128), 1 + rng.Int63n(128)}
+		all = append(all, p)
+		st.Insert(p)
+	}
+	survivors := map[string]int64{}
+	for i, p := range all {
+		if i < len(all)-8 {
+			st.Delete(p)
+		} else {
+			survivors[p.String()]++
+		}
+	}
+	res, ok := st.Result()
+	if !ok {
+		t.Fatal("FAIL after churn restored sparsity")
+	}
+	got := map[string]int64{}
+	var totalCells int64
+	for _, pc := range res.Points {
+		got[pc.P.String()] += pc.Count
+	}
+	for _, cc := range res.Cells {
+		totalCells += cc.Count
+	}
+	if totalCells != 8 {
+		t.Fatalf("cell counts sum to %d, want 8", totalCells)
+	}
+	for k, c := range survivors {
+		if got[k] != c {
+			t.Fatalf("survivor %s: got %d want %d", k, got[k], c)
+		}
+	}
+	if st.NetUpdates() != 8 {
+		t.Fatalf("NetUpdates = %d, want 8", st.NetUpdates())
+	}
+}
+
+func TestStoringFailsWhenOverfull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := buildGrid(t, 1024, 2, 4)
+	st := NewStoring(rng, g, 10, 4, 0, 0.01) // alpha=4 cells only
+	for i := 0; i < 500; i++ {
+		st.Insert(geo.Point{1 + rng.Int63n(1024), 1 + rng.Int63n(1024)})
+	}
+	if _, ok := st.Result(); ok {
+		t.Fatal("expected FAIL with alpha=4 and ~hundreds of non-empty fine cells")
+	}
+}
+
+func TestStoringEmptyStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := buildGrid(t, 16, 2, 5)
+	st := NewStoring(rng, g, 0, 8, 8, 0.01)
+	res, ok := st.Result()
+	if !ok || len(res.Cells) != 0 || len(res.Points) != 0 {
+		t.Fatalf("empty stream: ok=%v cells=%d points=%d", ok, len(res.Cells), len(res.Points))
+	}
+}
+
+func TestStoringFullCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := buildGrid(t, 64, 2, 6)
+	st := NewStoring(rng, g, 1, 8, 8, 0.01)
+	var pts geo.PointSet
+	for i := 0; i < 100; i++ {
+		p := geo.Point{1 + rng.Int63n(64), 1 + rng.Int63n(64)}
+		pts = append(pts, p)
+		st.Insert(p)
+	}
+	for _, p := range pts {
+		st.Delete(p)
+	}
+	res, ok := st.Result()
+	if !ok {
+		t.Fatal("fully cancelled stream must decode")
+	}
+	if len(res.Cells) != 0 || len(res.Points) != 0 {
+		t.Fatalf("fully cancelled stream must be empty: cells=%d points=%d", len(res.Cells), len(res.Points))
+	}
+}
+
+func TestStoringLevelMinusOne(t *testing.T) {
+	// The G_{-1} sketch sees a single cell holding everything.
+	rng := rand.New(rand.NewSource(7))
+	g := buildGrid(t, 32, 2, 7)
+	st := NewStoring(rng, g, grid.MinLevel, 4, 0, 0.01)
+	for i := 0; i < 50; i++ {
+		st.Insert(geo.Point{1 + rng.Int63n(32), 1 + rng.Int63n(32)})
+	}
+	res, ok := st.Result()
+	if !ok || len(res.Cells) != 1 || res.Cells[0].Count != 50 {
+		t.Fatalf("G_{-1}: ok=%v cells=%+v", ok, res.Cells)
+	}
+}
+
+func TestStoringBytesIndependentOfStreamLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := buildGrid(t, 64, 2, 8)
+	st := NewStoring(rng, g, 3, 32, 16, 0.01)
+	before := st.Bytes()
+	for i := 0; i < 10000; i++ {
+		st.Insert(geo.Point{1 + rng.Int63n(64), 1 + rng.Int63n(64)})
+	}
+	if st.Bytes() != before {
+		t.Fatalf("sketch grew with the stream: %d -> %d", before, st.Bytes())
+	}
+}

@@ -1,0 +1,73 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+)
+
+// GonzalezSeed picks k centers by farthest-point traversal — the classic
+// 2-approximation seeding for (uncapacitated) k-center.
+func GonzalezSeed(rng *rand.Rand, ps geo.PointSet, k int) []geo.Point {
+	if len(ps) == 0 || k < 1 {
+		panic("solve: empty input or k < 1")
+	}
+	centers := []geo.Point{ps[rng.Intn(len(ps))]}
+	for len(centers) < k {
+		far, best := 0, -1.0
+		for i, p := range ps {
+			if d, _ := geo.DistToSet(p, centers); d > best {
+				best, far = d, i
+			}
+		}
+		centers = append(centers, ps[far])
+	}
+	return centers
+}
+
+// CapacitatedKCenter solves capacitated k-center (the r = ∞ member of
+// the paper's family): Gonzalez seeding, optimal capacitated bottleneck
+// assignment (min-max distance under per-center capacity t), and
+// single-swap local search on the bottleneck radius. The best of
+// `restarts` runs is returned; ok is false when ⌊t⌋·k < n.
+func CapacitatedKCenter(rng *rand.Rand, ps geo.PointSet, k int, t float64, restarts, swaps int) (Solution, bool) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	best := Solution{Cost: math.Inf(1)}
+	found := false
+	for run := 0; run < restarts; run++ {
+		centers := GonzalezSeed(rng, ps, k)
+		res, ok := assign.OptimalBottleneck(ps, centers, t)
+		if !ok {
+			return Solution{}, false
+		}
+		cur := Solution{Centers: centers, Assign: res.Assign, Cost: res.Cost, Sizes: res.Sizes}
+		for s := 0; s < swaps; s++ {
+			improved := false
+			for c := 0; c < 6 && !improved; c++ {
+				cand := ps[rng.Intn(len(ps))]
+				for j := 0; j < k && !improved; j++ {
+					trial := make([]geo.Point, k)
+					copy(trial, cur.Centers)
+					trial[j] = cand
+					r2, ok := assign.OptimalBottleneck(ps, trial, t)
+					if ok && r2.Cost < cur.Cost*(1-1e-9) {
+						cur = Solution{Centers: trial, Assign: r2.Assign, Cost: r2.Cost, Sizes: r2.Sizes}
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if cur.Cost < best.Cost {
+			best = cur
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,101 @@
+package solve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/assign"
+	"streambalance/internal/geo"
+	"streambalance/internal/workload"
+)
+
+func TestGonzalezSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps, truec := workload.Mixture{N: 600, D: 2, Delta: 4096, K: 3, Spread: 5}.Generate(rng)
+	hits := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		Z := GonzalezSeed(rng, ps, 3)
+		used := map[int]bool{}
+		for _, z := range Z {
+			_, j := geo.DistToSet(z, truec)
+			used[j] = true
+		}
+		if len(used) == 3 {
+			hits++
+		}
+	}
+	// Farthest-point traversal on well-separated clusters covers all of
+	// them essentially always.
+	if hits < trials-2 {
+		t.Fatalf("Gonzalez covered all clusters only %d/%d times", hits, trials)
+	}
+}
+
+func TestCapacitatedKCenterBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps, _ := workload.TwoBlobs(rng, 120, 1024, 0.8, 5)
+	sol, ok := CapacitatedKCenter(rng, ps, 2, 66, 2, 2)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	for _, s := range sol.Sizes {
+		if s > 66 {
+			t.Fatalf("capacity violated: %v", sol.Sizes)
+		}
+	}
+	// Reported radius consistent with the assignment.
+	actual := 0.0
+	for i, a := range sol.Assign {
+		if d := geo.Dist(ps[i], sol.Centers[a]); d > actual {
+			actual = d
+		}
+	}
+	if math.Abs(actual-sol.Cost) > 1e-9 {
+		t.Fatalf("radius %v vs actual %v", sol.Cost, actual)
+	}
+}
+
+func TestCapacitatedKCenterTighterCapacityLargerRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps, _ := workload.TwoBlobs(rng, 100, 1024, 0.85, 4)
+	loose, ok := CapacitatedKCenter(rng, ps, 2, 90, 3, 2)
+	if !ok {
+		t.Fatal("infeasible loose")
+	}
+	tight, ok := CapacitatedKCenter(rng, ps, 2, 51, 3, 2)
+	if !ok {
+		t.Fatal("infeasible tight")
+	}
+	if tight.Cost < loose.Cost-1e-9 {
+		t.Fatalf("tighter capacity cannot shrink the radius: %v vs %v", tight.Cost, loose.Cost)
+	}
+}
+
+func TestCapacitatedKCenterInfeasible(t *testing.T) {
+	ps := geo.PointSet{{1, 1}, {2, 2}, {3, 3}}
+	rng := rand.New(rand.NewSource(4))
+	if _, ok := CapacitatedKCenter(rng, ps, 1, 2, 1, 0); ok {
+		t.Fatal("must be infeasible")
+	}
+}
+
+func TestCapacitatedKCenterNearBruteForceOnTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := geo.PointSet{{1, 1}, {2, 1}, {3, 1}, {50, 1}, {51, 1}, {52, 1}}
+	sol, ok := CapacitatedKCenter(rng, ps, 2, 3, 4, 3)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	// Optimal: one center per triplet, radius ≤ 1 (centers are input
+	// points, so e.g. (2,1) and (51,1) give radius 1).
+	if sol.Cost > 1+1e-9 {
+		t.Fatalf("radius %v, optimum is 1", sol.Cost)
+	}
+	// Cross-check against the exact bottleneck oracle at those centers.
+	res, ok := assign.OptimalBottleneck(ps, sol.Centers, 3)
+	if !ok || math.Abs(res.Cost-sol.Cost) > 1e-9 {
+		t.Fatalf("solver radius %v disagrees with oracle %v", sol.Cost, res.Cost)
+	}
+}

@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/solve"
+)
+
+// Auto runs the guess enumeration of Theorem 4.5: one Stream instance per
+// guess o on a geometric grid covering [1, Δ^d·(√d·Δ)^r] (Algorithm 2
+// line 1), all fed the same updates in parallel. At the end of the stream
+// the smallest guess whose instance succeeds — and whose coreset carries
+// approximately the right total weight — is selected.
+//
+// The paper selects o with a parallel streaming 2-approximation of OPT
+// [HSYZ18]; the weight-sanity rule here is the practical stand-in (a
+// far-too-large o loses points because the root cell is not heavy, a
+// far-too-small o FAILs its sketches), documented in DESIGN.md.
+type Auto struct {
+	streams []*Stream
+	guesses []float64
+	n       int64
+
+	reservoir *Reservoir // OPT-estimate sample for guess selection (insert-only)
+	costBound *CostBound // deletion-proof cell-counting bound ([HSYZ18]-style)
+	params    coreset.Params
+	delta     int64
+}
+
+// NewAuto creates the parallel guess grid with ratio oFactor between
+// consecutive guesses (≥ 2; the paper uses 2, 4 halves the instance
+// count with one extra factor of guess slack).
+func NewAuto(cfg Config, oFactor float64) (*Auto, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if oFactor < 2 {
+		oFactor = 2
+	}
+	// Upper bound of the guess range: Δ^d·(√d·Δ)^r.
+	logUpper := float64(cfg.Dim)*math.Log2(float64(cfg.Delta)) +
+		cfg.Params.R*math.Log2(math.Sqrt(float64(cfg.Dim))*float64(cfg.Delta))
+	upper := math.Exp2(logUpper)
+	rngCB := rand.New(rand.NewSource(cfg.Params.Seed ^ 0xcb))
+	gCB := grid.New(cfg.Delta, cfg.Dim, rngCB)
+	a := &Auto{
+		reservoir: NewReservoir(1000, cfg.Params.Seed^0x5eed),
+		costBound: NewCostBound(rngCB, gCB, cfg.Params.R, 256),
+		params:    cfg.Params,
+		delta:     cfg.Delta,
+	}
+	for o, i := 1.0, 0; o <= upper; o, i = o*oFactor, i+1 {
+		c := cfg
+		c.O = o
+		// Decorrelate instances while keeping the whole ensemble
+		// reproducible from one seed.
+		c.Params.Seed = cfg.Params.Seed + int64(i)*1_000_003
+		st, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		a.streams = append(a.streams, st)
+		a.guesses = append(a.guesses, o)
+	}
+	return a, nil
+}
+
+// Guesses returns the guess grid.
+func (a *Auto) Guesses() []float64 { return a.guesses }
+
+// Insert feeds (p, +) to every guess instance.
+func (a *Auto) Insert(p geo.Point) {
+	a.n++
+	a.reservoir.Insert(p)
+	a.costBound.Insert(p)
+	for _, s := range a.streams {
+		s.Insert(p)
+	}
+}
+
+// Delete feeds (p, −) to every guess instance.
+func (a *Auto) Delete(p geo.Point) {
+	a.n--
+	a.reservoir.Delete(p)
+	a.costBound.Delete(p)
+	for _, s := range a.streams {
+		s.Delete(p)
+	}
+}
+
+// Apply feeds a batch of updates to every guess instance, processing the
+// instances in parallel: each Stream's sketch state is private, so the
+// per-guess work — the dominant cost of the enumeration — parallelizes
+// perfectly across cores.
+func (a *Auto) Apply(ops []Op) {
+	for _, op := range ops {
+		if op.Delete {
+			a.n--
+		} else {
+			a.n++
+		}
+	}
+	for _, op := range ops {
+		if op.Delete {
+			a.reservoir.Delete(op.P)
+			a.costBound.Delete(op.P)
+		} else {
+			a.reservoir.Insert(op.P)
+			a.costBound.Insert(op.P)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, s := range a.streams {
+		wg.Add(1)
+		go func(s *Stream) {
+			defer wg.Done()
+			s.Apply(ops)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Bytes sums the sketch state over all guess instances plus the guess
+// selectors — the full space cost of the enumeration.
+func (a *Auto) Bytes() int64 {
+	b := a.costBound.Bytes()
+	for _, s := range a.streams {
+		b += s.Bytes()
+	}
+	return b
+}
+
+// ErrNoGuessSucceeded is returned when every guess instance FAILed or
+// produced a weight-inconsistent coreset.
+var ErrNoGuessSucceeded = errors.New("stream: no guess o succeeded")
+
+// Result selects a guess. On insertion-only streams the reservoir gives
+// a constant-factor OPT estimate, and the largest guess ≤ estimate/4 is
+// tried first — the selection rule Theorem 4.5 prescribes. If that guess
+// fails (or deletions dirtied the reservoir), selection falls back to
+// the smallest guess whose Result succeeds with a coreset total weight
+// within 30% of the exact point count (both far-off-OPT failure modes
+// break this: sketch FAIL below, lost mass above).
+func (a *Auto) Result() (*coreset.Coreset, error) {
+	if a.n < 0 {
+		return nil, errors.New("stream: more deletions than insertions")
+	}
+	if a.reservoir.Clean() && len(a.reservoir.Sample()) >= 32 {
+		if cs := a.tryEstimateGuess(); cs != nil {
+			return cs, nil
+		}
+	}
+	// Fallback (deletions dirtied the reservoir): ascending scan with
+	// weight-sanity, pruned from above by the deletion-proof cell-count
+	// bound — guesses beyond UpperBound/4 exceed OPT by at least the
+	// bound's looseness and can only lose quality, so they are never
+	// considered. The smallest surviving guess wins: o ≤ OPT is the side
+	// the analysis needs (Lemma 3.17); a too-small o merely enlarges the
+	// coreset.
+	guessCap := math.Inf(1)
+	if upper, ok := a.costBound.UpperBound(a.params.K, 0); ok && upper > 0 {
+		guessCap = upper / 4
+	}
+	var firstErr error
+	for i, s := range a.streams {
+		if a.guesses[i] > guessCap {
+			break
+		}
+		cs, err := s.Result()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		w := cs.TotalWeight()
+		if math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
+			continue
+		}
+		return cs, nil
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("%w (first failure: %v)", ErrNoGuessSucceeded, firstErr)
+	}
+	return nil, ErrNoGuessSucceeded
+}
+
+// tryEstimateGuess picks the guess from the reservoir's OPT estimate and
+// returns its coreset if it succeeds and is weight-sane; nil otherwise.
+func (a *Auto) tryEstimateGuess() *coreset.Coreset {
+	sample := a.reservoir.Sample()
+	rng := rand.New(rand.NewSource(a.params.Seed ^ 0x0e57))
+	est := solve.EstimateOPT(rng, geo.UnitWeights(sample), a.params.K, a.params.R, a.delta, 2) *
+		float64(a.n) / float64(len(sample))
+	target := est / 4
+	best := -1
+	for i, o := range a.guesses {
+		if o <= target {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	cs, err := a.streams[best].Result()
+	if err != nil {
+		return nil
+	}
+	if w := cs.TotalWeight(); math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
+		return nil
+	}
+	return cs
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/sketch"
+)
+
+// CostBound is a one-pass, deletion-proof cost estimator in the style of
+// the [HSYZ18] component Theorem 4.5 cites for guess selection. It
+// maintains, per grid level, an F₀ sketch of the non-empty cells. At
+// query time, if all surviving points occupy at most k cells of side
+// g_j, then placing one center inside each non-empty cell certifies
+// OPT ≤ n·(√d·g_j)^r.
+//
+// The bound is CERTIFIED from above but can be loose by (g_j/σ)^r when
+// clusters are much tighter than the finest qualifying cell — so it
+// serves as a pruning device and scan starting point for the guess
+// enumeration (Auto), not as a standalone selector; the weight-sanity
+// check remains the arbiter.
+type CostBound struct {
+	g  *grid.Grid
+	r  float64
+	f0 []*sketch.F0
+	n  int64
+}
+
+// NewCostBound creates the estimator. s controls each F₀ ladder's
+// per-level sparsity (accuracy ≈ 1/√s; default 256 when 0).
+func NewCostBound(rng *rand.Rand, g *grid.Grid, r float64, s int) *CostBound {
+	if s == 0 {
+		s = 256
+	}
+	cb := &CostBound{g: g, r: r, f0: make([]*sketch.F0, g.L+1)}
+	maxCells := int64(1) << uint(min(62, g.Dim*g.L+1))
+	for i := 0; i <= g.L; i++ {
+		cb.f0[i] = sketch.NewF0(rng, maxCells, s, 0.01)
+	}
+	return cb
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Insert observes (p, +).
+func (cb *CostBound) Insert(p geo.Point) { cb.update(p, 1) }
+
+// Delete observes (p, −).
+func (cb *CostBound) Delete(p geo.Point) { cb.update(p, -1) }
+
+func (cb *CostBound) update(p geo.Point, delta int64) {
+	cb.n += delta
+	for i := 0; i <= cb.g.L; i++ {
+		cb.f0[i].Update(cb.g.CellKey(p, i), delta)
+	}
+}
+
+// UpperBound returns a certified-style upper bound on the optimal
+// uncapacitated ℓ_r k-clustering cost of the surviving points: the
+// finest level whose estimated non-empty cell count is at most
+// slack·k (slack < 1 absorbs the F₀ estimation error) yields
+// n·(√d·g_level)^r. When no level qualifies, the trivial domain-level
+// bound is returned. ok is false when the sketches cannot even bound the
+// cell counts (undersized F₀ ladders).
+func (cb *CostBound) UpperBound(k int, slack float64) (float64, bool) {
+	if cb.n <= 0 {
+		return 0, true
+	}
+	if slack <= 0 {
+		// F₀ is exact whenever the count fits the ladder's base level, and
+		// the counts relevant here are O(k); no sub-1 slack needed.
+		slack = 1.0
+	}
+	best := -1 // grid.MinLevel: the trivial bound
+	for i := 0; i <= cb.g.L; i++ {
+		c, ok := cb.f0[i].Estimate()
+		if !ok {
+			// This level is too populous to even count — finer levels are
+			// denser still; stop.
+			break
+		}
+		if c <= slack*float64(k)+0.5 {
+			best = i
+		} else {
+			break // cell counts only grow with depth
+		}
+	}
+	diam := math.Sqrt(float64(cb.g.Dim)) * float64(cb.g.SideLen(best))
+	return float64(cb.n) * geo.PowR(diam, cb.r), true
+}
+
+// Guess converts the upper bound into the o a coreset instance should
+// use: UpperBound/4 floored to a power of two, ≥ 1 (the same rule every
+// other selector in this repository applies).
+func (cb *CostBound) Guess(k int) float64 {
+	u, ok := cb.UpperBound(k, 0)
+	if !ok || u <= 4 {
+		return 1
+	}
+	return math.Exp2(math.Floor(math.Log2(u / 4)))
+}
+
+// Bytes reports the total F₀ sketch footprint.
+func (cb *CostBound) Bytes() int64 {
+	var b int64
+	for _, f := range cb.f0 {
+		b += f.Bytes()
+	}
+	return b
+}
+
+// N returns the exact surviving-point count.
+func (cb *CostBound) N() int64 { return cb.n }

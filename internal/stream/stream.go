@@ -1,0 +1,358 @@
+// Package stream implements the one-pass dynamic streaming coreset of
+// Theorem 4.5 (Algorithm 4): over a stream of point insertions and
+// deletions it maintains, in space independent of the stream length,
+// enough linear-sketch state to output a strong (η, ε)-coreset for
+// capacitated k-clustering in ℓ_r at the end of the stream.
+//
+// Per grid level i the algorithm runs three independently subsampled
+// substreams through Storing sketches (Lemma 4.2):
+//
+//	h_i  at rate ψ_i  — cell counts for the heavy-cell marking (Algorithm 1),
+//	h′_i at rate ψ′_i — cell counts for part masses τ(Q_{i,j}) (Algorithm 2 lines 6, 9),
+//	ĥ_i  at rate φ_i  — the actual coreset candidate points (Algorithm 2 line 10).
+//
+// All state is linear, so deletions are handled by sketch subtraction; a
+// deleted point cancels exactly, whatever order updates arrive in.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+	"streambalance/internal/partition"
+	"streambalance/internal/sketch"
+)
+
+// Op is one dynamic stream update: an insertion, or a deletion of a point
+// previously inserted (the stream contract of Section 4.2).
+type Op struct {
+	P      geo.Point
+	Delete bool
+}
+
+// Config configures a single-guess streaming coreset instance.
+type Config struct {
+	Delta  int64          // coordinate range; rounded up to a power of two
+	Dim    int            // dimension d
+	Params coreset.Params // clustering parameters (k, r, ε, η, seed)
+	O      float64        // the guess of OPT^{(r)}_{k-clus}; must be > 0
+
+	// Sketch sizing. CellSparsity is α of each cell-count Storing;
+	// PointSparsity is β of each ĥ-level point sketch. Defaults 2048 and
+	// 4096. Theorem 4.5's poly(ε⁻¹η⁻¹kd log Δ) bound corresponds to the
+	// (much larger) paper values α_i, β̂_i of Algorithm 4 step 3; these
+	// calibrated defaults keep the same FAIL-never-wrong contract.
+	CellSparsity  int
+	PointSparsity int
+
+	// Sampling calibration: ψ_i = min(1, CountRate/T_i(o)) and
+	// ψ′_i = min(1, PartRate/(γ·T_i(o))). Defaults 256 and 64. The paper
+	// uses 10⁶λ′ for both numerators (Algorithm 3).
+	CountRate float64
+	PartRate  float64
+
+	FailProb float64 // δ for the sketches (default 0.01)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	var err error
+	c.Params, err = c.Params.Resolve()
+	if err != nil {
+		return c, err
+	}
+	if c.Dim < 1 {
+		return c, errors.New("stream: Dim must be >= 1")
+	}
+	if c.Delta < 1 {
+		return c, errors.New("stream: Delta must be >= 1")
+	}
+	d := int64(1)
+	for d < c.Delta {
+		d <<= 1
+	}
+	c.Delta = d
+	if c.CellSparsity == 0 {
+		c.CellSparsity = 2048
+	}
+	if c.PointSparsity == 0 {
+		c.PointSparsity = 4096
+	}
+	if c.CountRate == 0 {
+		c.CountRate = 256
+	}
+	if c.PartRate == 0 {
+		c.PartRate = 64
+	}
+	if c.FailProb == 0 {
+		c.FailProb = 0.01
+	}
+	return c, nil
+}
+
+// Stream is a one-pass dynamic streaming coreset builder for one guess o.
+type Stream struct {
+	cfg Config
+	g   *grid.Grid
+
+	n int64 // exact net point count (one counter; trivially streamable)
+
+	fp            *hashing.Fingerprint // keys the sampling decisions
+	hSamp, hpSamp []*hashing.Bernoulli // ψ_i and ψ′_i samplers, levels 0..L
+	hatSamp       []*hashing.Bernoulli // φ_i samplers, levels 0..L
+
+	hStore   []*sketch.Storing // cell counts for heavy marking, levels 0..L−1
+	hpStore  []*sketch.Storing // cell counts for part masses, levels 0..L
+	hatStore []*sketch.Storing // point recovery, levels 0..L
+
+	psi, psiP, phi []float64
+}
+
+// New creates a streaming coreset instance. cfg.O must be a positive
+// guess of the optimal uncapacitated cost (Theorem 4.5 obtains one from a
+// parallel streaming 2-approximation; Auto runs a guess grid instead).
+func New(cfg Config) (*Stream, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.O <= 0 {
+		return nil, errors.New("stream: cfg.O must be > 0 (use NewAuto for guess enumeration)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Params.Seed))
+	g := grid.New(cfg.Delta, cfg.Dim, rng)
+	L := g.L
+	s := &Stream{
+		cfg: cfg, g: g,
+		fp:       hashing.NewFingerprint(rng),
+		hSamp:    make([]*hashing.Bernoulli, L+1),
+		hpSamp:   make([]*hashing.Bernoulli, L+1),
+		hatSamp:  make([]*hashing.Bernoulli, L+1),
+		hStore:   make([]*sketch.Storing, L+1),
+		hpStore:  make([]*sketch.Storing, L+1),
+		hatStore: make([]*sketch.Storing, L+1),
+		psi:      make([]float64, L+1),
+		psiP:     make([]float64, L+1),
+		phi:      make([]float64, L+1),
+	}
+	p := cfg.Params
+	gamma := p.Gamma(g.Dim, L)
+	lambda := p.Lambda(g.Dim, L)
+	for i := 0; i <= L; i++ {
+		T := partition.ThresholdT(g, i, cfg.O, p.R)
+		s.psi[i] = math.Min(1, cfg.CountRate/T)
+		s.psiP[i] = math.Min(1, cfg.PartRate/(gamma*T))
+		s.phi[i] = p.Phi(T, g.Dim, L)
+		s.hSamp[i] = hashing.NewBernoulli(rng, lambda, s.psi[i])
+		s.hpSamp[i] = hashing.NewBernoulli(rng, lambda, s.psiP[i])
+		s.hatSamp[i] = hashing.NewBernoulli(rng, lambda, s.phi[i])
+		if i <= L-1 {
+			s.hStore[i] = sketch.NewStoring(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb)
+		}
+		s.hpStore[i] = sketch.NewStoring(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb)
+		s.hatStore[i] = sketch.NewStoring(rng, g, i, 0, cfg.PointSparsity, cfg.FailProb)
+	}
+	return s, nil
+}
+
+// Insert processes (p, +).
+func (s *Stream) Insert(p geo.Point) { s.update(p, false) }
+
+// Delete processes (p, −).
+func (s *Stream) Delete(p geo.Point) { s.update(p, true) }
+
+// Apply processes a batch of updates.
+func (s *Stream) Apply(ops []Op) {
+	for _, op := range ops {
+		s.update(op.P, op.Delete)
+	}
+}
+
+func (s *Stream) update(p geo.Point, del bool) {
+	if len(p) != s.g.Dim {
+		panic(fmt.Sprintf("stream: point dim %d != %d", len(p), s.g.Dim))
+	}
+	if del {
+		s.n--
+	} else {
+		s.n++
+	}
+	key := s.fp.Key(p)
+	for i := 0; i <= s.g.L; i++ {
+		if i <= s.g.L-1 && s.hSamp[i].Sample(key) {
+			if del {
+				s.hStore[i].Delete(p)
+			} else {
+				s.hStore[i].Insert(p)
+			}
+		}
+		if s.hpSamp[i].Sample(key) {
+			if del {
+				s.hpStore[i].Delete(p)
+			} else {
+				s.hpStore[i].Insert(p)
+			}
+		}
+		if s.hatSamp[i].Sample(key) {
+			if del {
+				s.hatStore[i].Delete(p)
+			} else {
+				s.hatStore[i].Insert(p)
+			}
+		}
+	}
+}
+
+// N returns the exact current number of points.
+func (s *Stream) N() int64 { return s.n }
+
+// Fork returns a zeroed Stream sharing s's configuration, grid and hash
+// functions. A fork can process a disjoint shard of the stream (e.g. on
+// another goroutine or machine) and be merged back with Merge — the
+// linearity of every sketch makes the merged state identical to one pass
+// over the interleaved stream.
+func (s *Stream) Fork() *Stream {
+	cp := &Stream{
+		cfg: s.cfg, g: s.g, fp: s.fp,
+		hSamp: s.hSamp, hpSamp: s.hpSamp, hatSamp: s.hatSamp,
+		hStore:   make([]*sketch.Storing, len(s.hStore)),
+		hpStore:  make([]*sketch.Storing, len(s.hpStore)),
+		hatStore: make([]*sketch.Storing, len(s.hatStore)),
+		psi:      s.psi, psiP: s.psiP, phi: s.phi,
+	}
+	for i := range s.hStore {
+		if s.hStore[i] != nil {
+			cp.hStore[i] = s.hStore[i].CloneEmpty()
+		}
+		cp.hpStore[i] = s.hpStore[i].CloneEmpty()
+		cp.hatStore[i] = s.hatStore[i].CloneEmpty()
+	}
+	return cp
+}
+
+// Merge folds a fork's state back into s. The fork must have been
+// created by s.Fork() (or share its hash functions transitively);
+// mismatched shapes panic.
+func (s *Stream) Merge(fork *Stream) {
+	for i := range s.hStore {
+		if s.hStore[i] != nil {
+			s.hStore[i].Merge(fork.hStore[i])
+		}
+		s.hpStore[i].Merge(fork.hpStore[i])
+		s.hatStore[i].Merge(fork.hatStore[i])
+	}
+	s.n += fork.n
+}
+
+// Bytes returns the total sketch state in bytes — the streaming space
+// Theorem 4.5 bounds by poly(ε⁻¹η⁻¹kd log Δ), independent of the stream
+// length.
+func (s *Stream) Bytes() int64 {
+	var b int64
+	for i := 0; i <= s.g.L; i++ {
+		if i <= s.g.L-1 {
+			b += s.hStore[i].Bytes()
+		}
+		b += s.hpStore[i].Bytes()
+		b += s.hatStore[i].Bytes()
+	}
+	return b
+}
+
+// ErrSketchFail is returned when a Storing subroutine FAILs (too many
+// non-empty cells or sampled points for the configured sketch budgets) —
+// the guess o is too small for this input, or the budgets too tight.
+var ErrSketchFail = errors.New("stream: sketch decode FAILed")
+
+// ErrPlanFail is returned when Algorithm 2's FAIL conditions trigger on
+// the recovered partition.
+var ErrPlanFail = errors.New("stream: coreset plan FAILed")
+
+// Result decodes the sketches and assembles the coreset (step 4–6 of
+// Algorithm 4): heavy cells from the h-substream estimates, part masses
+// from the h′-substream, coreset points from the ĥ-substream. It does not
+// modify the sketches, so it may be called repeatedly (e.g. periodically
+// during a long stream).
+func (s *Stream) Result() (*coreset.Coreset, error) {
+	if s.n < 0 {
+		return nil, errors.New("stream: more deletions than insertions")
+	}
+	g := s.g
+	L := g.L
+	p := s.cfg.Params
+
+	rootCell := partition.CellTau{Index: make([]int64, g.Dim), Tau: float64(s.n)}
+	rootKey := g.KeyOf(-1, rootCell.Index)
+	root := map[uint64]partition.CellTau{rootKey: rootCell}
+
+	// Count sources decode each level's sketch lazily: BuildLazy consults
+	// a level only while it can still contain heavy or crucial cells, so
+	// sketches of levels below the deepest heavy cell — which can be
+	// arbitrarily over-full — are never decoded.
+	decodeCells := func(st *sketch.Storing, rate float64) (map[uint64]partition.CellTau, bool) {
+		res, ok := st.Result()
+		if !ok {
+			return nil, false
+		}
+		m := make(map[uint64]partition.CellTau, len(res.Cells))
+		for _, cc := range res.Cells {
+			m[cc.Key] = partition.CellTau{Index: cc.Index, Tau: float64(cc.Count) / rate}
+		}
+		return m, true
+	}
+	counts := func(level int) (map[uint64]partition.CellTau, bool) {
+		if level == -1 {
+			return root, true
+		}
+		return decodeCells(s.hStore[level], s.psi[level])
+	}
+	partCounts := func(level int) (map[uint64]partition.CellTau, bool) {
+		if level == -1 {
+			return root, true
+		}
+		return decodeCells(s.hpStore[level], s.psiP[level])
+	}
+
+	part, err := partition.BuildLazy(g, p.R, s.cfg.O, counts, partCounts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSketchFail, err)
+	}
+	pl := coreset.BuildPlan(part, p)
+	if pl.Failed() {
+		return nil, fmt.Errorf("%w: %s", ErrPlanFail, pl.FailWhy)
+	}
+
+	// Levels that actually host included parts.
+	needLevel := make([]bool, L+1)
+	for id := range pl.Included {
+		needLevel[id.Level] = true
+	}
+
+	cs := &coreset.Coreset{O: s.cfg.O, Grid: g, Part: part, Plan: pl, Params: p}
+	for i := 0; i <= L; i++ {
+		if !needLevel[i] || s.phi[i] == 0 {
+			continue
+		}
+		res, ok := s.hatStore[i].Result()
+		if !ok {
+			return nil, fmt.Errorf("%w: ĥ-substream level %d", ErrSketchFail, i)
+		}
+		for _, pc := range res.Points {
+			id, ok := part.PartOf(pc.P)
+			if !ok || id.Level != i || !pl.Included[id] {
+				continue
+			}
+			cs.Points = append(cs.Points, geo.Weighted{
+				P: pc.P,
+				W: float64(pc.Count) / s.phi[i],
+			})
+			cs.Levels = append(cs.Levels, i)
+		}
+	}
+	return cs, nil
+}

@@ -1,0 +1,155 @@
+// Package streamfmt defines the text wire formats shared by the CLI
+// tools (cmd/bcgen, cmd/bcstream, cmd/bcsolve):
+//
+//   - stream files: one update per line, "+ x,y,..." inserts and
+//     "- x,y,..." deletes;
+//   - coreset files: one weighted point per line, "w x,y,...".
+//
+// Blank lines and lines starting with '#' are ignored everywhere.
+package streamfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"streambalance/internal/geo"
+)
+
+// Update is one parsed stream line.
+type Update struct {
+	P      geo.Point
+	Delete bool
+}
+
+// ParseUpdate parses a "+ x,y,..." / "- x,y,..." line. dim > 0 enforces
+// the dimension; dim == 0 accepts any.
+func ParseUpdate(line string, dim int) (Update, error) {
+	line = strings.TrimSpace(line)
+	if len(line) < 2 || (line[0] != '+' && line[0] != '-') {
+		return Update{}, fmt.Errorf("streamfmt: malformed update %q", line)
+	}
+	p, err := ParsePoint(line[1:], dim)
+	if err != nil {
+		return Update{}, err
+	}
+	return Update{P: p, Delete: line[0] == '-'}, nil
+}
+
+// FormatUpdate renders an update line.
+func FormatUpdate(u Update) string {
+	op := byte('+')
+	if u.Delete {
+		op = '-'
+	}
+	return string(op) + " " + FormatPoint(u.P)
+}
+
+// ParsePoint parses "x,y,...".
+func ParsePoint(s string, dim int) (geo.Point, error) {
+	fields := strings.Split(strings.TrimSpace(s), ",")
+	if dim > 0 && len(fields) != dim {
+		return nil, fmt.Errorf("streamfmt: expected %d coordinates, got %d in %q", dim, len(fields), s)
+	}
+	p := make(geo.Point, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("streamfmt: bad coordinate %q", f)
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// FormatPoint renders "x,y,...".
+func FormatPoint(p geo.Point) string {
+	cells := make([]string, len(p))
+	for i, c := range p {
+		cells[i] = strconv.FormatInt(c, 10)
+	}
+	return strings.Join(cells, ",")
+}
+
+// ParseWeighted parses a "w x,y,..." coreset line.
+func ParseWeighted(line string, dim int) (geo.Weighted, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 2 {
+		return geo.Weighted{}, fmt.Errorf("streamfmt: malformed coreset line %q (want \"w x,y,...\")", line)
+	}
+	w, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil || w <= 0 {
+		return geo.Weighted{}, fmt.Errorf("streamfmt: bad weight in %q", line)
+	}
+	p, err := ParsePoint(fields[1], dim)
+	if err != nil {
+		return geo.Weighted{}, err
+	}
+	return geo.Weighted{P: p, W: w}, nil
+}
+
+// FormatWeighted renders "w x,y,...".
+func FormatWeighted(w geo.Weighted) string {
+	return strconv.FormatFloat(w.W, 'g', -1, 64) + " " + FormatPoint(w.P)
+}
+
+// skippable reports whether a line carries no data.
+func skippable(line string) bool {
+	line = strings.TrimSpace(line)
+	return line == "" || strings.HasPrefix(line, "#")
+}
+
+// ReadUpdates streams all updates from r to fn, stopping at the first
+// error. Line numbers in errors are 1-based.
+func ReadUpdates(r io.Reader, dim int, fn func(Update) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if skippable(sc.Text()) {
+			continue
+		}
+		u, err := ParseUpdate(sc.Text(), dim)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := fn(u); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadWeighted reads a whole coreset file.
+func ReadWeighted(r io.Reader, dim int) ([]geo.Weighted, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []geo.Weighted
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if skippable(sc.Text()) {
+			continue
+		}
+		w, err := ParseWeighted(sc.Text(), dim)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, w)
+	}
+	return out, sc.Err()
+}
+
+// WriteWeighted writes a coreset file.
+func WriteWeighted(w io.Writer, ws []geo.Weighted) error {
+	bw := bufio.NewWriter(w)
+	for _, wp := range ws {
+		if _, err := fmt.Fprintln(bw, FormatWeighted(wp)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,139 @@
+package streamfmt
+
+import (
+	"strings"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func TestUpdateRoundTrip(t *testing.T) {
+	cases := []Update{
+		{P: geo.Point{1, 2}},
+		{P: geo.Point{100, 200, 300}, Delete: true},
+		{P: geo.Point{7}},
+	}
+	for _, u := range cases {
+		line := FormatUpdate(u)
+		got, err := ParseUpdate(line, len(u.P))
+		if err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+		if !got.P.Equal(u.P) || got.Delete != u.Delete {
+			t.Fatalf("round trip %q → %+v", line, got)
+		}
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	bad := []string{"", "x 1,2", "+", "+ 1,a", "+ 1,2,3"}
+	for _, line := range bad[:4] {
+		if _, err := ParseUpdate(line, 2); err == nil {
+			t.Fatalf("%q must error", line)
+		}
+	}
+	// Dimension enforcement.
+	if _, err := ParseUpdate("+ 1,2,3", 2); err == nil {
+		t.Fatal("wrong dimension must error")
+	}
+	if _, err := ParseUpdate("+ 1,2,3", 0); err != nil {
+		t.Fatal("dim=0 must accept any dimension")
+	}
+}
+
+func TestWeightedRoundTrip(t *testing.T) {
+	w := geo.Weighted{P: geo.Point{5, 6}, W: 12.5}
+	got, err := ParseWeighted(FormatWeighted(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.P.Equal(w.P) || got.W != w.W {
+		t.Fatalf("round trip → %+v", got)
+	}
+}
+
+func TestParseWeightedErrors(t *testing.T) {
+	for _, line := range []string{"", "1,2", "x 1,2", "-1 1,2", "0 1,2", "1 1,a"} {
+		if _, err := ParseWeighted(line, 2); err == nil {
+			t.Fatalf("%q must error", line)
+		}
+	}
+}
+
+func TestReadUpdatesSkipsCommentsAndCountsLines(t *testing.T) {
+	in := "# header\n+ 1,2\n\n- 1,2\n+ 3,4\n"
+	var ups []Update
+	err := ReadUpdates(strings.NewReader(in), 2, func(u Update) error {
+		ups = append(ups, u)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 3 || !ups[0].P.Equal(geo.Point{1, 2}) || !ups[1].Delete {
+		t.Fatalf("parsed %+v", ups)
+	}
+	// Error carries the 1-based line number.
+	err = ReadUpdates(strings.NewReader("+ 1,2\nbogus\n"), 2, func(Update) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestReadWriteWeighted(t *testing.T) {
+	ws := []geo.Weighted{
+		{P: geo.Point{1, 2}, W: 3},
+		{P: geo.Point{4, 5}, W: 0.5},
+	}
+	var sb strings.Builder
+	if err := WriteWeighted(&sb, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeighted(strings.NewReader("# c\n"+sb.String()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].W != 0.5 || !got[0].P.Equal(geo.Point{1, 2}) {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func FuzzParseUpdate(f *testing.F) {
+	f.Add("+ 1,2")
+	f.Add("- 99,100")
+	f.Add("+ -5,0")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, line string) {
+		u, err := ParseUpdate(line, 0)
+		if err != nil {
+			return
+		}
+		// Any successfully parsed update must round-trip.
+		back, err := ParseUpdate(FormatUpdate(u), 0)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", FormatUpdate(u), err)
+		}
+		if !back.P.Equal(u.P) || back.Delete != u.Delete {
+			t.Fatalf("round trip changed %q", line)
+		}
+	})
+}
+
+func FuzzParseWeighted(f *testing.F) {
+	f.Add("1 2,3")
+	f.Add("0.25 7,8,9")
+	f.Add("nope")
+	f.Fuzz(func(t *testing.T, line string) {
+		w, err := ParseWeighted(line, 0)
+		if err != nil {
+			return
+		}
+		if w.W <= 0 {
+			t.Fatalf("accepted nonpositive weight from %q", line)
+		}
+		back, err := ParseWeighted(FormatWeighted(w), 0)
+		if err != nil || back.W != w.W || !back.P.Equal(w.P) {
+			t.Fatalf("round trip failed for %q: %v", line, err)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+)
+
+// Ring draws n points on an annulus centered mid-domain — a workload
+// with no density peak, where grid-based heavy cells form a band rather
+// than blobs. Exercises the partition on non-convex cluster shapes.
+func Ring(rng *rand.Rand, n int, delta int64, radius, width float64) geo.PointSet {
+	cx := float64(delta) / 2
+	ps := make(geo.PointSet, n)
+	for i := range ps {
+		theta := rng.Float64() * 2 * math.Pi
+		r := radius + (rng.Float64()-0.5)*width
+		ps[i] = geo.Point{
+			clampRound(cx+r*math.Cos(theta), delta),
+			clampRound(cx+r*math.Sin(theta), delta),
+		}
+	}
+	return ps
+}
+
+// Lattice places points on a regular sub-grid with per-site multiplicity
+// — the degenerate duplicate-heavy workload that stresses the
+// multiplicity folding (footnote 4) and exact weights.
+func Lattice(rng *rand.Rand, sites int, delta int64, multiplicity int) geo.PointSet {
+	side := int64(math.Ceil(math.Sqrt(float64(sites))))
+	if side < 1 {
+		side = 1
+	}
+	step := delta / (side + 1)
+	if step < 1 {
+		step = 1
+	}
+	ps := make(geo.PointSet, 0, sites*multiplicity)
+	count := 0
+	for x := int64(1); x <= side && count < sites; x++ {
+		for y := int64(1); y <= side && count < sites; y++ {
+			p := geo.Point{clamp(x*step, delta), clamp(y*step, delta)}
+			for m := 0; m < multiplicity; m++ {
+				ps = append(ps, p.Clone())
+			}
+			count++
+		}
+	}
+	rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
+	return ps
+}
+
+// Adversarial builds the "expensive sparse mass" instance that defeats
+// uniform sampling: nearly all points in one tight blob, plus a handful
+// of far-away singletons that dominate the clustering cost when k is
+// too small to give each its own center.
+func Adversarial(rng *rand.Rand, n int, delta int64, outliers int) geo.PointSet {
+	blob, _ := TwoBlobs(rng, n-outliers, delta, 1.0, float64(delta)/200)
+	ps := blob
+	for i := 0; i < outliers; i++ {
+		// Corners and edges, far from the blob.
+		p := geo.Point{
+			clamp(int64(rng.Intn(2))*(delta-1)+1, delta),
+			clamp(rng.Int63n(delta)+1, delta),
+		}
+		ps = append(ps, p)
+	}
+	rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
+	return ps
+}
+
+func clamp(v, delta int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	if v > delta {
+		return delta
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func TestRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := Ring(rng, 1000, 1024, 300, 20)
+	if len(ps) != 1000 {
+		t.Fatal("wrong n")
+	}
+	center := geo.Point{512, 512}
+	for _, p := range ps {
+		if !p.InRange(1024) {
+			t.Fatalf("out of range: %v", p)
+		}
+		r := geo.Dist(p, center)
+		if r < 300-15 || r > 300+15 {
+			t.Fatalf("point %v at radius %v, want ≈ 300±10", p, r)
+		}
+	}
+}
+
+func TestLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := Lattice(rng, 25, 1024, 4)
+	if len(ps) != 100 {
+		t.Fatalf("n = %d, want 25×4", len(ps))
+	}
+	counts := map[string]int{}
+	for _, p := range ps {
+		if !p.InRange(1024) {
+			t.Fatalf("out of range: %v", p)
+		}
+		counts[p.String()]++
+	}
+	if len(counts) != 25 {
+		t.Fatalf("distinct sites %d, want 25", len(counts))
+	}
+	for s, c := range counts {
+		if c != 4 {
+			t.Fatalf("site %s multiplicity %d, want 4", s, c)
+		}
+	}
+}
+
+func TestAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := Adversarial(rng, 2000, 4096, 10)
+	if len(ps) != 2000 {
+		t.Fatal("wrong n")
+	}
+	// The blob sits at (Δ/4, Δ/4); count points far from it.
+	blobCenter := geo.Point{1024, 1024}
+	far := 0
+	for _, p := range ps {
+		if geo.Dist(p, blobCenter) > 1000 {
+			far++
+		}
+	}
+	if far < 5 || far > 30 {
+		t.Fatalf("far points = %d, want ≈ 10 outliers", far)
+	}
+}
+
+func TestAdversarialDefeatsUniformIntuition(t *testing.T) {
+	// Sanity that the instance does what it claims: the outliers carry a
+	// macroscopic fraction of the 1-center cost.
+	rng := rand.New(rand.NewSource(4))
+	ps := Adversarial(rng, 3000, 4096, 8)
+	blobCenter := geo.Point{1024, 1024}
+	var total, outlierCost float64
+	for _, p := range ps {
+		c := geo.DistSq(p, blobCenter)
+		total += c
+		if math.Sqrt(c) > 1000 {
+			outlierCost += c
+		}
+	}
+	if outlierCost < 0.3*total {
+		t.Fatalf("outliers carry only %.0f%% of the cost — instance too tame",
+			100*outlierCost/total)
+	}
+}

@@ -1,0 +1,138 @@
+// Package workload generates the synthetic point sets used by the test
+// suite, the examples and the experiment harness: Gaussian mixtures
+// (balanced and skewed), uniform boxes, and clustered data with
+// background noise. All generators quantize onto the integer grid
+// [1, Δ]^d the paper's algorithms operate on, and are deterministic given
+// the provided rng.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"streambalance/internal/geo"
+)
+
+// Mixture describes a Gaussian mixture workload.
+type Mixture struct {
+	N      int     // number of points
+	D      int     // dimension
+	Delta  int64   // coordinate range [1, Delta]
+	K      int     // number of mixture components
+	Spread float64 // per-coordinate standard deviation of each component
+	// Skew controls component sizes: 0 (or 1) = balanced; larger values
+	// make sizes geometric with ratio 1/Skew (component j has relative
+	// mass Skew^{−j}), producing the imbalanced inputs that make balanced
+	// clustering differ from ordinary clustering.
+	Skew float64
+	// NoiseFrac ∈ [0,1): this fraction of the points is uniform background
+	// noise instead of cluster mass.
+	NoiseFrac float64
+}
+
+// Generate draws the mixture. The returned centers are the true component
+// means (useful as a reference solution); the point set is shuffled.
+func (m Mixture) Generate(rng *rand.Rand) (geo.PointSet, []geo.Point) {
+	if m.N <= 0 || m.D <= 0 || m.K <= 0 || m.Delta < 2 {
+		panic("workload: invalid mixture spec")
+	}
+	centers := make([]geo.Point, m.K)
+	for j := range centers {
+		centers[j] = make(geo.Point, m.D)
+		for c := 0; c < m.D; c++ {
+			// Keep centers away from the boundary so the spread is not
+			// clipped asymmetrically.
+			lo := m.Delta / 8
+			centers[j][c] = 1 + lo + rng.Int63n(m.Delta-2*lo)
+		}
+	}
+	// Component masses.
+	weights := make([]float64, m.K)
+	tot := 0.0
+	for j := range weights {
+		if m.Skew > 1 {
+			weights[j] = math.Pow(m.Skew, -float64(j))
+		} else {
+			weights[j] = 1
+		}
+		tot += weights[j]
+	}
+	cum := make([]float64, m.K)
+	acc := 0.0
+	for j := range weights {
+		acc += weights[j] / tot
+		cum[j] = acc
+	}
+	ps := make(geo.PointSet, 0, m.N)
+	for i := 0; i < m.N; i++ {
+		if m.NoiseFrac > 0 && rng.Float64() < m.NoiseFrac {
+			ps = append(ps, UniformPoint(rng, m.D, m.Delta))
+			continue
+		}
+		u := rng.Float64()
+		j := 0
+		for j < m.K-1 && u > cum[j] {
+			j++
+		}
+		p := make(geo.Point, m.D)
+		for c := 0; c < m.D; c++ {
+			v := float64(centers[j][c]) + rng.NormFloat64()*m.Spread
+			p[c] = clampRound(v, m.Delta)
+		}
+		ps = append(ps, p)
+	}
+	rng.Shuffle(len(ps), func(a, b int) { ps[a], ps[b] = ps[b], ps[a] })
+	return ps, centers
+}
+
+// UniformPoint draws a uniform point of [1, delta]^d.
+func UniformPoint(rng *rand.Rand, d int, delta int64) geo.Point {
+	p := make(geo.Point, d)
+	for c := range p {
+		p[c] = 1 + rng.Int63n(delta)
+	}
+	return p
+}
+
+// UniformBox draws n uniform points of [1, delta]^d.
+func UniformBox(rng *rand.Rand, n, d int, delta int64) geo.PointSet {
+	ps := make(geo.PointSet, n)
+	for i := range ps {
+		ps[i] = UniformPoint(rng, d, delta)
+	}
+	return ps
+}
+
+// TwoBlobs is the canonical imbalanced instance from the balanced
+// clustering literature: fracA of the mass in one tight blob, the rest in
+// another — under a capacity of n/2 per center, roughly fracA−1/2 of the
+// mass must migrate, so capacitated and ordinary clustering genuinely
+// differ.
+func TwoBlobs(rng *rand.Rand, n int, delta int64, fracA, spread float64) (geo.PointSet, []geo.Point) {
+	ca := geo.Point{delta / 4, delta / 4}
+	cb := geo.Point{3 * delta / 4, 3 * delta / 4}
+	ps := make(geo.PointSet, 0, n)
+	for i := 0; i < n; i++ {
+		c := cb
+		if rng.Float64() < fracA {
+			c = ca
+		}
+		p := geo.Point{
+			clampRound(float64(c[0])+rng.NormFloat64()*spread, delta),
+			clampRound(float64(c[1])+rng.NormFloat64()*spread, delta),
+		}
+		ps = append(ps, p)
+	}
+	return ps, []geo.Point{ca, cb}
+}
+
+func clampRound(v float64, delta int64) int64 {
+	r := int64(math.Round(v))
+	if r < 1 {
+		return 1
+	}
+	if r > delta {
+		return delta
+	}
+	return r
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func TestMixtureBasics(t *testing.T) {
+	m := Mixture{N: 1000, D: 3, Delta: 1024, K: 4, Spread: 10}
+	ps, centers := m.Generate(rand.New(rand.NewSource(1)))
+	if len(ps) != 1000 || len(centers) != 4 {
+		t.Fatalf("n=%d k=%d", len(ps), len(centers))
+	}
+	for _, p := range ps {
+		if !p.InRange(1024) {
+			t.Fatalf("point out of range: %v", p)
+		}
+		if len(p) != 3 {
+			t.Fatalf("wrong dimension: %v", p)
+		}
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	m := Mixture{N: 100, D: 2, Delta: 256, K: 3, Spread: 5}
+	a, _ := m.Generate(rand.New(rand.NewSource(7)))
+	b, _ := m.Generate(rand.New(rand.NewSource(7)))
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed must reproduce the workload")
+		}
+	}
+}
+
+func TestMixtureClusters(t *testing.T) {
+	// Points should be near their component means: average distance to
+	// the nearest true center ≪ the domain scale.
+	m := Mixture{N: 2000, D: 2, Delta: 4096, K: 3, Spread: 8}
+	ps, centers := m.Generate(rand.New(rand.NewSource(2)))
+	var sum float64
+	for _, p := range ps {
+		d, _ := geo.DistToSet(p, centers)
+		sum += d
+	}
+	avg := sum / float64(len(ps))
+	if avg > 8*4 { // a few standard deviations
+		t.Fatalf("average distance to true center %v too large for spread 8", avg)
+	}
+}
+
+func TestMixtureSkew(t *testing.T) {
+	m := Mixture{N: 5000, D: 2, Delta: 4096, K: 3, Spread: 5, Skew: 3}
+	ps, centers := m.Generate(rand.New(rand.NewSource(3)))
+	sizes := make([]int, 3)
+	for _, p := range ps {
+		_, j := geo.DistToSet(p, centers)
+		sizes[j]++
+	}
+	// Component 0 has relative mass 1/(1+1/3+1/9) ≈ 0.69.
+	if sizes[0] < len(ps)/2 {
+		t.Fatalf("skewed mixture not skewed: sizes %v", sizes)
+	}
+}
+
+func TestMixtureNoise(t *testing.T) {
+	m := Mixture{N: 4000, D: 2, Delta: 8192, K: 2, Spread: 4, NoiseFrac: 0.3}
+	ps, centers := m.Generate(rand.New(rand.NewSource(4)))
+	far := 0
+	for _, p := range ps {
+		d, _ := geo.DistToSet(p, centers)
+		if d > 100 {
+			far++
+		}
+	}
+	frac := float64(far) / float64(len(ps))
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("noise fraction ≈ %v, want ≈ 0.3", frac)
+	}
+}
+
+func TestUniformBox(t *testing.T) {
+	ps := UniformBox(rand.New(rand.NewSource(5)), 500, 4, 64)
+	if len(ps) != 500 {
+		t.Fatal("wrong n")
+	}
+	lo, hi := geo.BoundingBox(ps)
+	for c := 0; c < 4; c++ {
+		if lo[c] < 1 || hi[c] > 64 {
+			t.Fatalf("out of range: %v %v", lo, hi)
+		}
+	}
+	// Spread sanity: with 500 uniform samples the bounding box should
+	// nearly fill the domain.
+	if hi[0]-lo[0] < 32 {
+		t.Fatalf("suspiciously tight box: %v %v", lo, hi)
+	}
+}
+
+func TestTwoBlobsImbalance(t *testing.T) {
+	ps, centers := TwoBlobs(rand.New(rand.NewSource(6)), 3000, 1024, 0.8, 6)
+	na := 0
+	for _, p := range ps {
+		_, j := geo.DistToSet(p, centers)
+		if j == 0 {
+			na++
+		}
+	}
+	frac := float64(na) / float64(len(ps))
+	if math.Abs(frac-0.8) > 0.05 {
+		t.Fatalf("blob A fraction %v, want ≈ 0.8", frac)
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mixture{N: 0, D: 2, Delta: 16, K: 1}.Generate(rand.New(rand.NewSource(1)))
+}
