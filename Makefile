@@ -1,0 +1,17 @@
+.PHONY: check test bench vet
+
+# Fast correctness gate for the ingestion-critical packages: vet plus
+# the race-enabled equivalence tests (batched Apply vs per-op replay).
+check:
+	go vet ./...
+	go test -race ./internal/stream/... ./internal/sketch/... ./internal/hashing/...
+
+test:
+	go build ./... && go test ./...
+
+vet:
+	go vet ./...
+
+# Ingest-throughput benchmarks (EXPERIMENTS.md records the reference run).
+bench:
+	go test -run xxx -bench 'Ingest' -benchmem ./internal/stream/ .

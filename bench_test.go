@@ -89,6 +89,55 @@ func BenchmarkStreamInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngest is the ingest-throughput headline: the batched
+// shared-key pipeline (Auto.Apply) over the full guess ensemble — per-op
+// key columns computed once for all guesses, sketch work sharded across a
+// worker pool. Compare with BenchmarkStreamIngestPerOp, the serial
+// reference path.
+func BenchmarkStreamIngest(b *testing.B) {
+	ps := benchPoints(4096)
+	a, err := streambalance.NewAutoStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12,
+		Params:       streambalance.Params{K: 4, Seed: 1},
+		CellSparsity: 512, PointSparsity: 2048,
+	}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]streambalance.Op, len(ps))
+	for i, p := range ps {
+		ops[i] = streambalance.Op{P: p}
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(ops) {
+		n := b.N - done
+		if n > len(ops) {
+			n = len(ops)
+		}
+		a.Apply(ops[:n])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
+// BenchmarkStreamIngestPerOp feeds the same guess ensemble one op at a
+// time — the pre-batching ingest path, kept as the speedup baseline.
+func BenchmarkStreamIngestPerOp(b *testing.B) {
+	ps := benchPoints(4096)
+	a, err := streambalance.NewAutoStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12,
+		Params:       streambalance.Params{K: 4, Seed: 1},
+		CellSparsity: 512, PointSparsity: 2048,
+	}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Insert(ps[i%len(ps)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
 // BenchmarkStreamResult measures end-of-stream decoding.
 func BenchmarkStreamResult(b *testing.B) {
 	ps := benchPoints(8000)

@@ -3,28 +3,115 @@
 //
 // Usage:
 //
-//	bcbench [-scale 1.0] [-seed 1] [-only E1,E5]
+//	bcbench [-scale 1.0] [-seed 1] [-only E1,E5] [-bench]
 //
 // -scale multiplies every instance size (use 2–4 for slower, tighter
 // runs); -only restricts to a comma-separated subset of experiment ids.
+// -bench skips the experiment suite and instead measures dynamic-stream
+// ingest throughput (batched shared-key pipeline vs per-op replay),
+// writing the numbers to BENCH_ingest.json for trajectory tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"streambalance"
 	"streambalance/internal/experiments"
 	"streambalance/internal/metrics"
+	"streambalance/internal/workload"
 )
+
+// benchIngest measures ingest ops/sec of the guess-enumeration ensemble
+// through the batched pipeline and the serial per-op path, prints a short
+// report and records it as BENCH_ingest.json.
+func benchIngest(scale float64, seed int64) error {
+	n := int(16384 * scale)
+	if n < 1024 {
+		n = 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ps, _ := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: 4, Spread: 20, Skew: 2, NoiseFrac: 0.05}.Generate(rng)
+	cfg := streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12,
+		Params:       streambalance.Params{K: 4, Seed: seed},
+		CellSparsity: 512, PointSparsity: 2048,
+	}
+	newAuto := func() *streambalance.AutoStream {
+		a, err := streambalance.NewAutoStream(cfg, 4)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+
+	serial := newAuto()
+	t0 := time.Now()
+	for _, p := range ps {
+		serial.Insert(p)
+	}
+	perOpSec := float64(n) / time.Since(t0).Seconds()
+
+	batched := newAuto()
+	ops := make([]streambalance.Op, n)
+	for i, p := range ps {
+		ops[i] = streambalance.Op{P: p}
+	}
+	const batchSize = 4096
+	t0 = time.Now()
+	for i := 0; i < n; i += batchSize {
+		end := i + batchSize
+		if end > n {
+			end = n
+		}
+		batched.Apply(ops[i:end])
+	}
+	batchedSec := float64(n) / time.Since(t0).Seconds()
+
+	rec := map[string]any{
+		"bench":               "stream_ingest",
+		"n_ops":               n,
+		"guesses":             len(serial.Guesses()),
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"seed":                seed,
+		"ops_per_sec_per_op":  perOpSec,
+		"ops_per_sec_batched": batchedSec,
+		"speedup":             batchedSec / perOpSec,
+	}
+	fmt.Printf("stream ingest  (n=%d ops, %d guesses, GOMAXPROCS=%d)\n", n, len(serial.Guesses()), runtime.GOMAXPROCS(0))
+	fmt.Printf("  per-op  : %12.0f ops/sec\n", perOpSec)
+	fmt.Printf("  batched : %12.0f ops/sec  (%.2fx)\n", batchedSec, batchedSec/perOpSec)
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ingest.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_ingest.json")
+	return nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "instance size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	bench := flag.Bool("bench", false, "measure stream ingest throughput and write BENCH_ingest.json")
 	flag.Parse()
+
+	if *bench {
+		if err := benchIngest(*scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Cfg{Seed: *seed, Scale: *scale}
 	runners := map[string]func(experiments.Cfg) *metrics.Table{

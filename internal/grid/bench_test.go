@@ -32,3 +32,37 @@ func BenchmarkAllLevelsOfPoint(b *testing.B) {
 	}
 	_ = sink
 }
+
+// BenchmarkCellIndexInto: the no-alloc variant must report 0 allocs/op.
+func BenchmarkCellIndexInto(b *testing.B) {
+	g := New(1<<16, 4, rand.New(rand.NewSource(3)))
+	p := geo.Point{12345, 54321, 11111, 65535}
+	dst := make([]int64, 0, g.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		dst = g.CellIndexInto(dst[:0], p, i%(g.L+1))
+		sink ^= dst[0]
+	}
+	_ = sink
+}
+
+// BenchmarkParentKeys: all L+1 cell keys of one point via the incremental
+// parent derivation — the per-op cost of the ingestion pipeline's key
+// column, also 0 allocs/op.
+func BenchmarkParentKeys(b *testing.B) {
+	g := New(1<<16, 2, rand.New(rand.NewSource(4)))
+	p := geo.Point{40000, 20000}
+	dst := make([]int64, 0, g.Dim)
+	keys := make([]uint64, g.L+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		dst = g.CellIndexInto(dst[:0], p, g.L)
+		g.ParentKeys(keys, dst, g.L)
+		sink ^= keys[0]
+	}
+	_ = sink
+}

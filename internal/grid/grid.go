@@ -68,16 +68,23 @@ func (g *Grid) shiftBits(level int) uint {
 // CellIndex returns the integer index vector of the level-i cell that
 // contains p: index_j = (p_j + shift_j) >> (L − i).
 func (g *Grid) CellIndex(p geo.Point, level int) []int64 {
+	return g.CellIndexInto(make([]int64, 0, g.Dim), p, level)
+}
+
+// CellIndexInto appends the level-i cell index of p to dst and returns the
+// extended slice — the allocation-free form of CellIndex for callers that
+// reuse a scratch buffer (the batched ingestion pipeline computes one cell
+// index per op per level this way).
+func (g *Grid) CellIndexInto(dst []int64, p geo.Point, level int) []int64 {
 	g.checkLevel(level)
 	if len(p) != g.Dim {
 		panic(fmt.Sprintf("grid: point dim %d != grid dim %d", len(p), g.Dim))
 	}
 	b := g.shiftBits(level)
-	idx := make([]int64, g.Dim)
 	for j := range p {
-		idx[j] = (p[j] + g.Shift[j]) >> b
+		dst = append(dst, (p[j]+g.Shift[j])>>b)
 	}
-	return idx
+	return dst
 }
 
 // ParentIndex maps a level-i cell index to its level-(i−1) parent index.
@@ -89,6 +96,23 @@ func ParentIndex(idx []int64) []int64 {
 	return out
 }
 
+// ParentKeys fills keys[i] for i = level..0 with the cell key of the
+// level-i ancestor of the cell idx, deriving each coarser index from the
+// finer one by a one-bit shift (the ParentIndex relation) instead of
+// recomputing every level from the point. idx is consumed: on return it
+// holds the level-0 ancestor index. len(keys) must be at least level+1.
+func (g *Grid) ParentKeys(keys []uint64, idx []int64, level int) {
+	g.checkLevel(level)
+	for i := level; i >= 0; i-- {
+		keys[i] = g.KeyOf(i, idx)
+		if i > 0 {
+			for j := range idx {
+				idx[j] >>= 1
+			}
+		}
+	}
+}
+
 // CellKey returns a 64-bit fingerprint key identifying the level-i cell
 // containing p. Keys are unique across levels (the level is folded into
 // the fingerprint) up to the fingerprint collision bound.
@@ -96,12 +120,11 @@ func (g *Grid) CellKey(p geo.Point, level int) uint64 {
 	return g.KeyOf(level, g.CellIndex(p, level))
 }
 
-// KeyOf fingerprints an explicit (level, index) pair.
+// KeyOf fingerprints an explicit (level, index) pair. It allocates
+// nothing: the level tag (offset by 2 so level −1 is representable as a
+// positive value) is folded into the fingerprint directly.
 func (g *Grid) KeyOf(level int, idx []int64) uint64 {
-	buf := make([]int64, 0, len(idx)+1)
-	buf = append(buf, int64(level)+2) // ≥ 1 so level −1 is representable
-	buf = append(buf, idx...)
-	return g.fp.Key(buf)
+	return g.fp.KeyTagged(int64(level)+2, idx)
 }
 
 // Diameter returns the diameter bound √d·g_i for cells at level i: any

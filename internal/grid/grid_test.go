@@ -228,3 +228,61 @@ func randPoint(rng *rand.Rand, d int, delta int64) geo.Point {
 	}
 	return p
 }
+
+func TestCellIndexIntoMatchesCellIndex(t *testing.T) {
+	g := newTestGrid(t, 1<<10, 3, 21)
+	rng := rand.New(rand.NewSource(22))
+	dst := make([]int64, 0, g.Dim)
+	for i := 0; i < 200; i++ {
+		p := geo.Point{rng.Int63n(1 << 10), rng.Int63n(1 << 10), rng.Int63n(1 << 10)}
+		level := rng.Intn(g.L+2) - 1
+		want := g.CellIndex(p, level)
+		dst = g.CellIndexInto(dst[:0], p, level)
+		if len(dst) != len(want) {
+			t.Fatalf("length %d vs %d", len(dst), len(want))
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("level %d: index %v vs %v", level, dst, want)
+			}
+		}
+	}
+}
+
+func TestParentKeysMatchCellKeys(t *testing.T) {
+	g := newTestGrid(t, 1<<8, 2, 23)
+	rng := rand.New(rand.NewSource(24))
+	keys := make([]uint64, g.L+1)
+	for i := 0; i < 100; i++ {
+		p := geo.Point{rng.Int63n(1 << 8), rng.Int63n(1 << 8)}
+		idx := g.CellIndex(p, g.L)
+		g.ParentKeys(keys, idx, g.L)
+		for level := 0; level <= g.L; level++ {
+			if keys[level] != g.CellKey(p, level) {
+				t.Fatalf("level %d: ParentKeys %d vs CellKey %d", level, keys[level], g.CellKey(p, level))
+			}
+		}
+		// idx is consumed down to the level-0 ancestor.
+		for j, v := range g.CellIndex(p, 0) {
+			if idx[j] != v {
+				t.Fatalf("consumed idx %v is not the level-0 index", idx)
+			}
+		}
+	}
+}
+
+func TestCellKeyPipelineAllocFree(t *testing.T) {
+	// The batched ingestion pipeline relies on the CellIndexInto →
+	// ParentKeys → KeyOf chain allocating nothing per op.
+	g := newTestGrid(t, 1<<12, 4, 25)
+	p := geo.Point{11, 222, 3333, 404}
+	dst := make([]int64, 0, g.Dim)
+	keys := make([]uint64, g.L+1)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = g.CellIndexInto(dst[:0], p, g.L)
+		g.ParentKeys(keys, dst, g.L)
+	})
+	if allocs != 0 {
+		t.Fatalf("cell key pipeline allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -79,8 +79,12 @@ func (h *KWise) Eval(x uint64) uint64 {
 	if x >= MersennePrime61 {
 		x -= MersennePrime61 // keys are < 2^61 in all callers
 	}
-	var acc uint64
-	for i := len(h.coeffs) - 1; i >= 0; i-- {
+	// Seed the accumulator with the leading coefficient instead of 0: the
+	// first Horner step would be addMod(mulMod(0, x), c) = c, so skipping
+	// it saves one field multiplication — a quarter of the work for the
+	// degree-3 sketch fingerprints and half for the pairwise row hashes.
+	acc := h.coeffs[len(h.coeffs)-1]
+	for i := len(h.coeffs) - 2; i >= 0; i-- {
 		acc = addMod(mulMod(acc, x), h.coeffs[i])
 	}
 	return acc
@@ -111,10 +115,17 @@ func NewBernoulli(rng *rand.Rand, lambda int, phi float64) *Bernoulli {
 	}
 }
 
-// Sample reports whether key x is selected.
+// Sample reports whether key x is selected. Rate-1 and rate-0 samplers
+// short-circuit before the degree-λ Horner evaluation: the streaming
+// calibration ψ_i = min(1, ·) pins many levels at φ = 1 (and a zero
+// threshold can never select), so the boundary cases are hot paths, not
+// corner cases.
 func (b *Bernoulli) Sample(x uint64) bool {
 	if b.phi >= 1 {
 		return true
+	}
+	if b.threshold == 0 {
+		return false
 	}
 	return b.h.Eval(x) < b.threshold
 }
@@ -161,6 +172,19 @@ func (f *Fingerprint) Key(coords []int64) uint64 {
 // the two-level sketches of Section 4.
 func (f *Fingerprint) Key2(tag, key uint64) uint64 {
 	return addMod(addMod(mulMod(reduce64(tag), f.base), reduce64(key)), 1)
+}
+
+// KeyTagged returns Key applied to the virtual vector (tag, coords...)
+// without materializing it — the allocation-free form of the cell-key
+// computation (grid.KeyOf), which prefixes the level tag to the cell
+// index vector.
+func (f *Fingerprint) KeyTagged(tag int64, coords []int64) uint64 {
+	var acc uint64
+	for i := len(coords) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, f.base), reduce64(uint64(coords[i])))
+	}
+	acc = addMod(mulMod(acc, f.base), reduce64(uint64(tag)))
+	return addMod(acc, 1)
 }
 
 // Mix64 is the SplitMix64 finalizer: a fast, high-quality 64-bit mixer used

@@ -229,3 +229,58 @@ func TestMix64Bijectivity(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestBernoulliBoundaryFastPaths(t *testing.T) {
+	// Sample short-circuits φ ≥ 1 and φ ≤ 0 before the Horner evaluation;
+	// the fast path must agree with the general threshold comparison
+	// h(x) < ⌊φ·p⌋ at both boundaries.
+	rng := rand.New(rand.NewSource(7))
+	one := NewBernoulli(rng, 16, 1)
+	zero := NewBernoulli(rng, 16, 0)
+	mid := NewBernoulli(rng, 16, 0.5)
+	for i := 0; i < 1000; i++ {
+		x := uint64(rng.Int63())
+		// φ = 1 → threshold = p, and Eval < p always: fast path and
+		// general path both select.
+		if !one.Sample(x) {
+			t.Fatalf("phi=1 must always sample (x=%d)", x)
+		}
+		if got, want := one.Sample(x), one.h.Eval(x) < one.threshold; got != want {
+			t.Fatalf("phi=1 fast path disagrees with general path at x=%d", x)
+		}
+		// φ = 0 → threshold = 0, nothing is below it.
+		if zero.Sample(x) {
+			t.Fatalf("phi=0 must never sample (x=%d)", x)
+		}
+		if got, want := zero.Sample(x), zero.h.Eval(x) < zero.threshold; got != want {
+			t.Fatalf("phi=0 fast path disagrees with general path at x=%d", x)
+		}
+		// Interior φ takes the general path by construction.
+		if got, want := mid.Sample(x), mid.h.Eval(x) < mid.threshold; got != want {
+			t.Fatalf("phi=0.5 disagrees with threshold comparison at x=%d", x)
+		}
+	}
+	// Clamping: out-of-range φ behaves exactly like the boundary.
+	if !NewBernoulli(rng, 4, 2.5).Sample(42) {
+		t.Fatal("phi>1 clamps to 1")
+	}
+	if NewBernoulli(rng, 4, -0.5).Sample(42) {
+		t.Fatal("phi<0 clamps to 0")
+	}
+}
+
+func TestKeyTaggedMatchesKey(t *testing.T) {
+	f := NewFingerprint(rand.New(rand.NewSource(11)))
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		tag := rng.Int63n(64) - 1
+		coords := make([]int64, 1+rng.Intn(5))
+		for j := range coords {
+			coords[j] = rng.Int63()
+		}
+		buf := append([]int64{tag}, coords...)
+		if f.KeyTagged(tag, coords) != f.Key(buf) {
+			t.Fatalf("KeyTagged(%d, %v) != Key of the materialized vector", tag, coords)
+		}
+	}
+}

@@ -67,12 +67,26 @@ type PointCount struct {
 // uses), beta the total number of surviving points to recover (0 disables
 // point recovery), delta the failure probability.
 func NewStoring(rng *rand.Rand, g *grid.Grid, level, alpha, beta int, delta float64) *Storing {
+	return NewStoringShared(rng, g, level, alpha, beta, delta, nil)
+}
+
+// NewStoringShared is NewStoring with an externally supplied point
+// fingerprint (nil draws a private one from rng). Sharing one fingerprint
+// across the Storing instances of all levels — and, in the guess
+// enumeration, all instances — lets a batched ingestion pipeline compute
+// each point's key once and reuse it everywhere; the fingerprint collision
+// bound is unchanged (it is per pair of distinct points, union-bounded the
+// same way).
+func NewStoringShared(rng *rand.Rand, g *grid.Grid, level, alpha, beta int, delta float64, fp *hashing.Fingerprint) *Storing {
+	if fp == nil {
+		fp = hashing.NewFingerprint(rng)
+	}
 	st := &Storing{
 		g:     g,
 		level: level,
 		alpha: alpha,
 		beta:  beta,
-		fp:    hashing.NewFingerprint(rng),
+		fp:    fp,
 	}
 	if alpha > 0 {
 		st.cells = NewSparseRecovery(rng, alpha, delta/2, g.Dim)
@@ -99,6 +113,40 @@ func (st *Storing) update(p geo.Point, delta int64) {
 		st.points.Update(st.fp.Key(p), p, delta)
 	}
 	st.netUpdates += delta
+}
+
+// UpdateKeyed applies one update with every derivable key supplied by the
+// caller: cellKey/cellIdx must equal g.KeyOf(level, g.CellIndex(p, level))
+// and pointKey must equal PointKey(p). The batched ingestion pipeline
+// computes these once per op and reuses them across the h/h′/ĥ sketches of
+// every level and guess instance; because the values are identical to what
+// update would compute, the resulting sketch state is bit-identical to the
+// per-op path.
+func (st *Storing) UpdateKeyed(cellKey uint64, cellIdx []int64, pointKey uint64, p geo.Point, delta int64) {
+	if st.cells != nil {
+		st.cells.Update(cellKey, cellIdx, delta)
+	}
+	if st.points != nil {
+		st.points.Update(pointKey, p, delta)
+	}
+	st.netUpdates += delta
+}
+
+// PointKey returns the key UpdateKeyed expects for p — st's point
+// fingerprint, shared across instances built with NewStoringShared.
+func (st *Storing) PointKey(p geo.Point) uint64 { return st.fp.Key(p) }
+
+// Digest folds the full sketch state into one 64-bit value; equal digests
+// on hash-sharing siblings mean bit-identical state.
+func (st *Storing) Digest() uint64 {
+	d := hashing.Mix64(uint64(st.netUpdates))
+	if st.cells != nil {
+		d = hashing.Mix64(d ^ st.cells.Digest())
+	}
+	if st.points != nil {
+		d = hashing.Mix64(d ^ st.points.Digest())
+	}
+	return d
 }
 
 // Result decodes the sketch. ok is false on FAIL (too many cells or

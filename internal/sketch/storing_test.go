@@ -6,6 +6,7 @@ import (
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
 )
 
 func buildGrid(t *testing.T, delta int64, dim int, seed int64) *grid.Grid {
@@ -189,5 +190,82 @@ func TestStoringBytesIndependentOfStreamLength(t *testing.T) {
 	}
 	if st.Bytes() != before {
 		t.Fatalf("sketch grew with the stream: %d -> %d", before, st.Bytes())
+	}
+}
+
+func TestUpdateKeyedMatchesUpdate(t *testing.T) {
+	// UpdateKeyed with caller-precomputed keys must leave bit-identical
+	// state to the per-op Insert/Delete path — the contract the batched
+	// ingestion pipeline depends on.
+	g := buildGrid(t, 1<<8, 2, 61)
+	mk := func() (*Storing, *Storing) {
+		rngA := rand.New(rand.NewSource(62))
+		rngB := rand.New(rand.NewSource(62))
+		fpA := hashing.NewFingerprint(rand.New(rand.NewSource(63)))
+		fpB := hashing.NewFingerprint(rand.New(rand.NewSource(63)))
+		return NewStoringShared(rngA, g, 3, 32, 32, 0.01, fpA),
+			NewStoringShared(rngB, g, 3, 32, 32, 0.01, fpB)
+	}
+	perOp, keyed := mk()
+	rng := rand.New(rand.NewSource(64))
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = geo.Point{rng.Int63n(1 << 8), rng.Int63n(1 << 8)}
+	}
+	for i, p := range pts {
+		delta := int64(1)
+		if i%5 == 4 {
+			delta = -1
+		}
+		if delta > 0 {
+			perOp.Insert(p)
+		} else {
+			perOp.Delete(p)
+		}
+		idx := g.CellIndex(p, 3)
+		keyed.UpdateKeyed(g.KeyOf(3, idx), idx, keyed.PointKey(p), p, delta)
+	}
+	if perOp.Digest() != keyed.Digest() {
+		t.Fatal("UpdateKeyed state diverged from per-op Update")
+	}
+	if perOp.NetUpdates() != keyed.NetUpdates() {
+		t.Fatalf("net updates %d vs %d", perOp.NetUpdates(), keyed.NetUpdates())
+	}
+}
+
+func TestDigestDetectsDifference(t *testing.T) {
+	g := buildGrid(t, 1<<6, 2, 65)
+	rng := rand.New(rand.NewSource(66))
+	st := NewStoring(rng, g, 2, 16, 16, 0.01)
+	sib := st.CloneEmpty()
+	if st.Digest() != sib.Digest() {
+		t.Fatal("empty siblings must have equal digests")
+	}
+	st.Insert(geo.Point{5, 9})
+	if st.Digest() == sib.Digest() {
+		t.Fatal("digest must change after an update")
+	}
+	sib.Insert(geo.Point{5, 9})
+	if st.Digest() != sib.Digest() {
+		t.Fatal("identical update streams must give equal digests")
+	}
+	st.Delete(geo.Point{5, 9})
+	sib.Delete(geo.Point{5, 9})
+	if st.Digest() != sib.Digest() {
+		t.Fatal("digests must track deletions identically")
+	}
+}
+
+func TestStoringSharedFingerprintSharesPointKeys(t *testing.T) {
+	g := buildGrid(t, 1<<6, 2, 67)
+	fp := hashing.NewFingerprint(rand.New(rand.NewSource(68)))
+	a := NewStoringShared(rand.New(rand.NewSource(69)), g, 1, 8, 8, 0.01, fp)
+	b := NewStoringShared(rand.New(rand.NewSource(70)), g, 4, 8, 8, 0.01, fp)
+	p := geo.Point{12, 34}
+	if a.PointKey(p) != b.PointKey(p) {
+		t.Fatal("instances sharing a fingerprint must agree on point keys")
+	}
+	if a.PointKey(p) != fp.Key(p) {
+		t.Fatal("PointKey must be the shared fingerprint key")
 	}
 }

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"streambalance/internal/coreset"
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
 	"streambalance/internal/solve"
 )
 
@@ -27,6 +27,17 @@ type Auto struct {
 	streams []*Stream
 	guesses []float64
 	n       int64
+
+	// All guess instances share one grid (hence one random shift and one
+	// cell-key fingerprint) and one sampling/point fingerprint, so the
+	// ingestion pipeline computes each op's key column once for the whole
+	// ensemble. Each instance keeps private samplers and sketch hash
+	// functions; the per-instance guarantees of Theorem 4.5 are marginal
+	// over those, so sharing the grid only correlates failures across
+	// guesses — it never changes any single instance's distribution.
+	g  *grid.Grid
+	fp *hashing.Fingerprint
+	b  *batch // reusable columnar buffer for Apply (not goroutine-safe)
 
 	reservoir *Reservoir // OPT-estimate sample for guess selection (insert-only)
 	costBound *CostBound // deletion-proof cell-counting bound ([HSYZ18]-style)
@@ -51,7 +62,10 @@ func NewAuto(cfg Config, oFactor float64) (*Auto, error) {
 	upper := math.Exp2(logUpper)
 	rngCB := rand.New(rand.NewSource(cfg.Params.Seed ^ 0xcb))
 	gCB := grid.New(cfg.Delta, cfg.Dim, rngCB)
+	rngShared := rand.New(rand.NewSource(cfg.Params.Seed))
 	a := &Auto{
+		g:         grid.New(cfg.Delta, cfg.Dim, rngShared),
+		fp:        hashing.NewFingerprint(rngShared),
 		reservoir: NewReservoir(1000, cfg.Params.Seed^0x5eed),
 		costBound: NewCostBound(rngCB, gCB, cfg.Params.R, 256),
 		params:    cfg.Params,
@@ -60,13 +74,10 @@ func NewAuto(cfg Config, oFactor float64) (*Auto, error) {
 	for o, i := 1.0, 0; o <= upper; o, i = o*oFactor, i+1 {
 		c := cfg
 		c.O = o
-		// Decorrelate instances while keeping the whole ensemble
-		// reproducible from one seed.
+		// Decorrelate instance samplers and sketches while keeping the
+		// whole ensemble reproducible from one seed.
 		c.Params.Seed = cfg.Params.Seed + int64(i)*1_000_003
-		st, err := New(c)
-		if err != nil {
-			return nil, err
-		}
+		st := newShared(c, a.g, a.fp, rand.New(rand.NewSource(c.Params.Seed)))
 		a.streams = append(a.streams, st)
 		a.guesses = append(a.guesses, o)
 	}
@@ -96,36 +107,55 @@ func (a *Auto) Delete(p geo.Point) {
 	}
 }
 
-// Apply feeds a batch of updates to every guess instance, processing the
-// instances in parallel: each Stream's sketch state is private, so the
-// per-guess work — the dominant cost of the enumeration — parallelizes
-// perfectly across cores.
+// Apply feeds a batch of updates to every guess instance through the
+// shared-key ingestion pipeline (ingest.go): the per-op key columns are
+// computed once — not once per guess — and the sketch work is sharded
+// over (guess × level-range) units across a worker pool sized to the
+// machine. Linearity of all sketch state makes the result bit-identical
+// to feeding the ops one at a time through Insert/Delete.
 func (a *Auto) Apply(ops []Op) {
-	for _, op := range ops {
-		if op.Delete {
-			a.n--
+	if len(ops) == 0 {
+		return
+	}
+	var net int64
+	for i := range ops {
+		if ops[i].Delete {
+			net--
+			a.reservoir.Delete(ops[i].P)
+			a.costBound.Delete(ops[i].P)
 		} else {
-			a.n++
+			net++
+			a.reservoir.Insert(ops[i].P)
+			a.costBound.Insert(ops[i].P)
 		}
 	}
-	for _, op := range ops {
-		if op.Delete {
-			a.reservoir.Delete(op.P)
-			a.costBound.Delete(op.P)
-		} else {
-			a.reservoir.Insert(op.P)
-			a.costBound.Insert(op.P)
-		}
+	a.n += net
+	if a.b == nil {
+		a.b = new(batch)
 	}
-	var wg sync.WaitGroup
+	a.b.build(a.g, a.fp, ops)
+	// Chunk each instance's L+1 levels into a few shards so the pool can
+	// balance load even when the instance count is near the core count.
+	chunk := (a.g.L + 4) / 4
+	if chunk < 1 {
+		chunk = 1
+	}
+	shards := make([]shard, 0, len(a.streams)*4)
 	for _, s := range a.streams {
-		wg.Add(1)
-		go func(s *Stream) {
-			defer wg.Done()
-			s.Apply(ops)
-		}(s)
+		s.n += net
+		shards = levelShards(shards, s, chunk)
 	}
-	wg.Wait()
+	applyShards(a.b, shards)
+}
+
+// StateDigest folds every guess instance's sketch state into one 64-bit
+// value (see Stream.StateDigest).
+func (a *Auto) StateDigest() uint64 {
+	d := hashing.Mix64(uint64(a.n))
+	for _, s := range a.streams {
+		d = hashing.Mix64(d ^ s.StateDigest())
+	}
+	return d
 }
 
 // Bytes sums the sketch state over all guess instances plus the guess

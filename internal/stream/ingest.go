@@ -1,0 +1,180 @@
+// Batched, shared-key ingestion pipeline (the fast path behind
+// Stream.Apply and Auto.Apply).
+//
+// Every stream update fans out to 3 substreams × (L+1) grid levels — and,
+// under guess enumeration, × G guess instances. The per-op inputs those
+// fan-out targets need are all derivable from two quantities: the op's
+// fingerprint key (sampling decisions and point identity) and its cell
+// index per level (cell keys and cell payloads). A batch precomputes both
+// as columns, once per op:
+//
+//   - fkey[t]            — fingerprint key of op t,
+//   - baseIdx[t·d : …]   — the level-L cell index (p + shift, exactly),
+//   - cellKey[t·(L+1)+i] — the level-i cell key, derived bottom-up: the
+//     level-(i−1) index is the level-i index shifted right one bit
+//     (grid.ParentIndex), so all L+1 keys take one fingerprint per level
+//     instead of one CellIndex + KeyOf pair per level per sketch.
+//
+// Coarser cell indices are reconstructed from baseIdx by a bit shift at
+// application time, only when a sampler actually selects the op, so the
+// batch stores one index vector per op rather than L+1.
+//
+// Because every sketch is linear over GF(p) and int64 counters — both
+// exact, commutative, associative — applying a batch level-by-level, or
+// sharding levels across goroutines, yields bit-identical sketch state to
+// replaying the ops one at a time in stream order. TestApplyMatchesPerOp
+// enforces this.
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+)
+
+// batch holds the columnar precomputation for a slice of ops against one
+// grid + fingerprint pair. Buffers are reused across builds.
+type batch struct {
+	ops     []Op
+	sign    []int64  // +1 insert, −1 delete, per op
+	fkey    []uint64 // fingerprint key per op
+	baseIdx []int64  // level-L cell index per op, Dim entries each
+	cellKey []uint64 // cell key per op per level, L+1 entries each
+}
+
+// build fills the batch's columns for ops. The grid and fingerprint must
+// be the ones every consuming Stream shares.
+func (b *batch) build(g *grid.Grid, fp *hashing.Fingerprint, ops []Op) {
+	n, dim, L := len(ops), g.Dim, g.L
+	b.ops = ops
+	b.sign = growInt64(b.sign, n)
+	b.fkey = growUint64(b.fkey, n)
+	b.baseIdx = growInt64(b.baseIdx, n*dim)
+	b.cellKey = growUint64(b.cellKey, n*(L+1))
+	scratch := make([]int64, dim)
+	for t := range ops {
+		p := ops[t].P
+		if ops[t].Delete {
+			b.sign[t] = -1
+		} else {
+			b.sign[t] = +1
+		}
+		b.fkey[t] = fp.Key(p)
+		row := g.CellIndexInto(b.baseIdx[t*dim:t*dim], p, L)
+		copy(scratch, row)
+		g.ParentKeys(b.cellKey[t*(L+1):(t+1)*(L+1)], scratch, L)
+	}
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growUint64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// applyLevels applies the batch to sketch levels lo..hi of s. Distinct
+// level ranges of the same Stream touch disjoint sketch state (each level
+// owns its sketches), so they may run concurrently; the net counter s.n is
+// the caller's responsibility. Level-major order keeps one level's sketch
+// slabs hot in cache across the whole batch.
+func (s *Stream) applyLevels(b *batch, lo, hi int) {
+	g := s.g
+	L, dim := g.L, g.Dim
+	idx := make([]int64, dim)
+	for i := lo; i <= hi; i++ {
+		hS, hpS, hatS := s.hSamp[i], s.hpSamp[i], s.hatSamp[i]
+		sh := uint(L - i)
+		for t := range b.ops {
+			key := b.fkey[t]
+			hSel := i <= L-1 && hS.Sample(key)
+			hpSel := hpS.Sample(key)
+			hatSel := hatS.Sample(key)
+			if !hSel && !hpSel && !hatSel {
+				continue
+			}
+			if hSel || hpSel {
+				base := b.baseIdx[t*dim : (t+1)*dim]
+				for j := 0; j < dim; j++ {
+					idx[j] = base[j] >> sh
+				}
+			}
+			ck := b.cellKey[t*(L+1)+i]
+			p, sign := b.ops[t].P, b.sign[t]
+			if hSel {
+				s.hStore[i].UpdateKeyed(ck, idx, key, p, sign)
+			}
+			if hpSel {
+				s.hpStore[i].UpdateKeyed(ck, idx, key, p, sign)
+			}
+			if hatSel {
+				s.hatStore[i].UpdateKeyed(ck, idx, key, p, sign)
+			}
+		}
+	}
+}
+
+// shard is one unit of parallel batch application: a level range of one
+// guess instance.
+type shard struct {
+	s      *Stream
+	lo, hi int
+}
+
+// applyShards applies the batch to every (stream × level-range) shard with
+// a worker pool sized to the machine. Shards partition the sketch state —
+// no two shards write the same sketch — so no synchronization beyond the
+// final barrier is needed, and linearity makes the outcome independent of
+// the schedule.
+func applyShards(b *batch, shards []shard) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			sh.s.applyLevels(b, sh.lo, sh.hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				sh := shards[i]
+				sh.s.applyLevels(b, sh.lo, sh.hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// levelShards appends the shards for one stream, splitting its L+1 levels
+// into chunks of at most chunk levels.
+func levelShards(dst []shard, s *Stream, chunk int) []shard {
+	for lo := 0; lo <= s.g.L; lo += chunk {
+		hi := lo + chunk - 1
+		if hi > s.g.L {
+			hi = s.g.L
+		}
+		dst = append(dst, shard{s: s, lo: lo, hi: hi})
+	}
+	return dst
+}

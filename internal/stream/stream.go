@@ -102,7 +102,7 @@ type Stream struct {
 
 	n int64 // exact net point count (one counter; trivially streamable)
 
-	fp            *hashing.Fingerprint // keys the sampling decisions
+	fp            *hashing.Fingerprint // keys the sampling decisions and point identities
 	hSamp, hpSamp []*hashing.Bernoulli // ψ_i and ψ′_i samplers, levels 0..L
 	hatSamp       []*hashing.Bernoulli // φ_i samplers, levels 0..L
 
@@ -111,6 +111,8 @@ type Stream struct {
 	hatStore []*sketch.Storing // point recovery, levels 0..L
 
 	psi, psiP, phi []float64
+
+	b *batch // reusable columnar buffer for Apply (not goroutine-safe)
 }
 
 // New creates a streaming coreset instance. cfg.O must be a positive
@@ -126,10 +128,20 @@ func New(cfg Config) (*Stream, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Params.Seed))
 	g := grid.New(cfg.Delta, cfg.Dim, rng)
+	return newShared(cfg, g, hashing.NewFingerprint(rng), rng), nil
+}
+
+// newShared builds a Stream over an externally supplied grid and
+// fingerprint. Auto uses it to make every guess instance share one grid
+// shift and one per-op key function, so the ingestion pipeline can compute
+// each op's fingerprint key and cell keys once and reuse them across all
+// instances. cfg must already be defaulted and have O > 0; rng seeds the
+// instance-private samplers and sketch hash functions.
+func newShared(cfg Config, g *grid.Grid, fp *hashing.Fingerprint, rng *rand.Rand) *Stream {
 	L := g.L
 	s := &Stream{
 		cfg: cfg, g: g,
-		fp:       hashing.NewFingerprint(rng),
+		fp:       fp,
 		hSamp:    make([]*hashing.Bernoulli, L+1),
 		hpSamp:   make([]*hashing.Bernoulli, L+1),
 		hatSamp:  make([]*hashing.Bernoulli, L+1),
@@ -152,12 +164,12 @@ func New(cfg Config) (*Stream, error) {
 		s.hpSamp[i] = hashing.NewBernoulli(rng, lambda, s.psiP[i])
 		s.hatSamp[i] = hashing.NewBernoulli(rng, lambda, s.phi[i])
 		if i <= L-1 {
-			s.hStore[i] = sketch.NewStoring(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb)
+			s.hStore[i] = sketch.NewStoringShared(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb, fp)
 		}
-		s.hpStore[i] = sketch.NewStoring(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb)
-		s.hatStore[i] = sketch.NewStoring(rng, g, i, 0, cfg.PointSparsity, cfg.FailProb)
+		s.hpStore[i] = sketch.NewStoringShared(rng, g, i, cfg.CellSparsity, 0, cfg.FailProb, fp)
+		s.hatStore[i] = sketch.NewStoringShared(rng, g, i, 0, cfg.PointSparsity, cfg.FailProb, fp)
 	}
-	return s, nil
+	return s
 }
 
 // Insert processes (p, +).
@@ -166,10 +178,25 @@ func (s *Stream) Insert(p geo.Point) { s.update(p, false) }
 // Delete processes (p, −).
 func (s *Stream) Delete(p geo.Point) { s.update(p, true) }
 
-// Apply processes a batch of updates.
+// Apply processes a batch of updates through the columnar ingestion
+// pipeline (ingest.go): per-op keys are computed once and reused across
+// the h/h′/ĥ sketches of every level. All sketch state is linear, so the
+// result is bit-identical to replaying the ops through Insert/Delete.
 func (s *Stream) Apply(ops []Op) {
-	for _, op := range ops {
-		s.update(op.P, op.Delete)
+	if len(ops) == 0 {
+		return
+	}
+	if s.b == nil {
+		s.b = new(batch)
+	}
+	s.b.build(s.g, s.fp, ops)
+	s.applyLevels(s.b, 0, s.g.L)
+	for i := range ops {
+		if ops[i].Delete {
+			s.n--
+		} else {
+			s.n++
+		}
 	}
 }
 
@@ -247,6 +274,22 @@ func (s *Stream) Merge(fork *Stream) {
 		s.hatStore[i].Merge(fork.hatStore[i])
 	}
 	s.n += fork.n
+}
+
+// StateDigest folds every sketch's state into one 64-bit value. Streams
+// with identical configuration and seed have equal digests iff their
+// sketch states are bit-identical — the equivalence check for the batched
+// ingestion pipeline against per-op replay.
+func (s *Stream) StateDigest() uint64 {
+	d := hashing.Mix64(uint64(s.n))
+	for i := 0; i <= s.g.L; i++ {
+		if i <= s.g.L-1 {
+			d = hashing.Mix64(d ^ s.hStore[i].Digest())
+		}
+		d = hashing.Mix64(d ^ s.hpStore[i].Digest())
+		d = hashing.Mix64(d ^ s.hatStore[i].Digest())
+	}
+	return d
 }
 
 // Bytes returns the total sketch state in bytes — the streaming space
