@@ -1,10 +1,13 @@
 .PHONY: check test bench vet
 
-# Fast correctness gate for the ingestion-critical packages: vet plus
-# the race-enabled equivalence tests (batched Apply vs per-op replay).
+# Full correctness gate (CI runs exactly this): vet, build everything,
+# then the whole test suite under the race detector — the batched-ingest
+# and parallel-extraction equivalence tests only mean something with
+# -race on.
 check:
 	go vet ./...
-	go test -race ./internal/stream/... ./internal/sketch/... ./internal/hashing/...
+	go build ./...
+	go test -race ./...
 
 test:
 	go build ./... && go test ./...
@@ -12,6 +15,7 @@ test:
 vet:
 	go vet ./...
 
-# Ingest-throughput benchmarks (EXPERIMENTS.md records the reference run).
+# Ingest- and extraction-throughput benchmarks (EXPERIMENTS.md records
+# the reference runs).
 bench:
-	go test -run xxx -bench 'Ingest' -benchmem ./internal/stream/ .
+	go test -run xxx -bench 'Ingest|Extract' -benchmem ./internal/stream/ .

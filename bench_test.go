@@ -138,7 +138,72 @@ func BenchmarkStreamIngestPerOp(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
 }
 
-// BenchmarkStreamResult measures end-of-stream decoding.
+// BenchmarkStreamExtract is the extraction-throughput headline: guess
+// selection + decode + assembly over the full 25-guess ensemble
+// (DESIGN.md §6). Cold drops the decode caches every iteration, so each
+// extraction re-peels every consulted sketch (in parallel when
+// GOMAXPROCS > 1); Warm re-extracts with unchanged sketches, where every
+// decode is an epoch-cache hit; ColdSerial is the pre-pipeline lazy
+// single-worker baseline.
+func BenchmarkStreamExtract(b *testing.B) {
+	ps := benchPoints(4096)
+	newEnsemble := func() *streambalance.AutoStream {
+		a, err := streambalance.NewAutoStream(streambalance.StreamConfig{
+			Dim: 2, Delta: 1 << 12,
+			Params:       streambalance.Params{K: 4, Seed: 1},
+			CellSparsity: 512, PointSparsity: 4096,
+		}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := make([]streambalance.Op, len(ps))
+		for i, p := range ps {
+			ops[i] = streambalance.Op{P: p}
+		}
+		a.Apply(ops)
+		if _, err := a.Result(); err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	b.Run("Cold", func(b *testing.B) {
+		a := newEnsemble()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.DropDecodeCache()
+			if _, err := a.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "extracts/sec")
+	})
+	b.Run("ColdSerial", func(b *testing.B) {
+		a := newEnsemble()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.DropDecodeCache()
+			if _, err := a.ResultSerial(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "extracts/sec")
+	})
+	b.Run("Warm", func(b *testing.B) {
+		a := newEnsemble()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "extracts/sec")
+	})
+}
+
+// BenchmarkStreamResult measures end-of-stream decoding on a single
+// stream instance, cold: the epoch cache is dropped every iteration so
+// the decode cost is actually measured (see BenchmarkStreamExtract/Warm
+// for the cached path).
 func BenchmarkStreamResult(b *testing.B) {
 	ps := benchPoints(8000)
 	est, _ := streambalance.EstimateOPT(ps, 4, 2, 1)
@@ -157,6 +222,7 @@ func BenchmarkStreamResult(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s.DropDecodeCache()
 		if _, err := s.Result(); err != nil {
 			b.Fatal(err)
 		}

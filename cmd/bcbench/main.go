@@ -8,8 +8,10 @@
 // -scale multiplies every instance size (use 2–4 for slower, tighter
 // runs); -only restricts to a comma-separated subset of experiment ids.
 // -bench skips the experiment suite and instead measures dynamic-stream
-// ingest throughput (batched shared-key pipeline vs per-op replay),
-// writing the numbers to BENCH_ingest.json for trajectory tracking.
+// ingest throughput (batched shared-key pipeline vs per-op replay) and
+// coreset-extraction throughput (cold parallel decode vs serial vs
+// epoch-cache warm), writing the numbers to BENCH_ingest.json and
+// BENCH_extract.json for trajectory tracking.
 package main
 
 import (
@@ -98,15 +100,122 @@ func benchIngest(scale float64, seed int64) error {
 	return nil
 }
 
+// benchExtract measures coreset-extraction throughput over the guess
+// ensemble: cold (decode caches dropped before every extraction, decoded
+// across the worker pool), serial cold (single-worker lazy baseline) and
+// warm (epoch-cache hits only). Prints a short report and records it as
+// BENCH_extract.json.
+func benchExtract(scale float64, seed int64) error {
+	n := int(4096 * scale)
+	if n < 1024 {
+		n = 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ps, _ := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: 4, Spread: 20, Skew: 2, NoiseFrac: 0.05}.Generate(rng)
+	a, err := streambalance.NewAutoStream(streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12,
+		Params:       streambalance.Params{K: 4, Seed: seed},
+		CellSparsity: 512, PointSparsity: 4 * 4096,
+	}, 4)
+	if err != nil {
+		return err
+	}
+	ops := make([]streambalance.Op, n)
+	for i, p := range ps {
+		ops[i] = streambalance.Op{P: p}
+	}
+	a.Apply(ops)
+	if _, err := a.Result(); err != nil {
+		return fmt.Errorf("extraction failed on the bench ensemble: %w", err)
+	}
+
+	// The modes are timed round-robin — one cold, one serial, one warm
+	// round per pass — so machine-noise phases (GC, CPU steal on shared
+	// hosts) are spread over all three instead of biasing whichever block
+	// ran during them. At GOMAXPROCS=1 cold and serial run the same code
+	// path and should measure about the same.
+	const rounds = 10
+	modes := []struct {
+		name string
+		prep func() error // untimed setup for the round
+		f    func() error // the timed extraction
+	}{
+		{"cold", nil, func() error {
+			a.DropDecodeCache()
+			_, err := a.Result()
+			return err
+		}},
+		{"serial", nil, func() error {
+			a.DropDecodeCache()
+			_, err := a.ResultSerial()
+			return err
+		}},
+		// The serial round just dropped the caches; re-warm untimed so the
+		// timed call measures pure cache-hit extraction.
+		{"warm", func() error { _, err := a.Result(); return err }, func() error {
+			_, err := a.Result()
+			return err
+		}},
+	}
+	elapsed := make([]time.Duration, len(modes))
+	for i := 0; i < rounds; i++ {
+		for m, mode := range modes {
+			if mode.prep != nil {
+				if err := mode.prep(); err != nil {
+					return fmt.Errorf("%s extraction: %w", mode.name, err)
+				}
+			}
+			t0 := time.Now()
+			if err := mode.f(); err != nil {
+				return fmt.Errorf("%s extraction: %w", mode.name, err)
+			}
+			elapsed[m] += time.Since(t0)
+		}
+	}
+	coldSec := rounds / elapsed[0].Seconds()
+	serialSec := rounds / elapsed[1].Seconds()
+	warmSec := rounds / elapsed[2].Seconds()
+
+	rec := map[string]any{
+		"bench":                    "stream_extract",
+		"n_points":                 n,
+		"guesses":                  len(a.Guesses()),
+		"gomaxprocs":               runtime.GOMAXPROCS(0),
+		"seed":                     seed,
+		"extracts_per_sec_cold":    coldSec,
+		"extracts_per_sec_serial":  serialSec,
+		"extracts_per_sec_warm":    warmSec,
+		"warm_speedup_over_cold":   warmSec / coldSec,
+		"cold_speedup_over_serial": coldSec / serialSec,
+	}
+	fmt.Printf("stream extract (n=%d points, %d guesses, GOMAXPROCS=%d)\n", n, len(a.Guesses()), runtime.GOMAXPROCS(0))
+	fmt.Printf("  cold    : %12.2f extracts/sec  (%.2fx over serial)\n", coldSec, coldSec/serialSec)
+	fmt.Printf("  serial  : %12.2f extracts/sec\n", serialSec)
+	fmt.Printf("  warm    : %12.2f extracts/sec  (%.2fx over cold)\n", warmSec, warmSec/coldSec)
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_extract.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_extract.json")
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "instance size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
-	bench := flag.Bool("bench", false, "measure stream ingest throughput and write BENCH_ingest.json")
+	bench := flag.Bool("bench", false, "measure ingest and extraction throughput, writing BENCH_ingest.json and BENCH_extract.json")
 	flag.Parse()
 
 	if *bench {
 		if err := benchIngest(*scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := benchExtract(*scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

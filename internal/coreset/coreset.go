@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
@@ -69,10 +70,22 @@ func BuildPlan(part *partition.Partition, p Params) *Plan {
 		pl.FailWhy = fmt.Sprintf("heavy cells %v exceed budget %v", hc, p.HeavyBudget(d, L))
 		return pl
 	}
-	// Line 6: per-level mass τ(∪_j Q_{i,j}) too large.
+	// Line 6: per-level mass τ(∪_j Q_{i,j}) too large. Parts are summed in
+	// sorted-ID order — float addition in map-iteration order would let a
+	// borderline level budget pass on one run and FAIL on the next.
+	ids := make([]partition.PartID, 0, len(part.Parts))
+	for id := range part.Parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Level != ids[b].Level {
+			return ids[a].Level < ids[b].Level
+		}
+		return ids[a].Parent < ids[b].Parent
+	})
 	levelTau := make([]float64, L+1)
-	for id, pt := range part.Parts {
-		levelTau[id.Level] += pt.Tau
+	for _, id := range ids {
+		levelTau[id.Level] += part.Parts[id].Tau
 	}
 	for i := 0; i <= L; i++ {
 		T := part.ThresholdT(i)

@@ -59,30 +59,15 @@ func E13AssignmentCounting(c Cfg) *metrics.Table {
 		}
 		walk(geo.Point{})
 
-		distinct := map[string]bool{}
-		solved := 0
-		maxPerZ := 0
-		allSep := true
+		// Enumerate the center-set combinations serially (the recursion
+		// reuses its Z buffer, so each leaf is cloned), then solve every
+		// (Z, t) sweep across the worker pool — each combo's sweep is
+		// independent — and reduce in combo order.
+		var combos []geo.PointSet
 		var chooseZ func(start int, Z []geo.Point)
 		chooseZ = func(start int, Z []geo.Point) {
 			if len(Z) == in.k {
-				perZ := map[string]bool{}
-				for t := int(math.Ceil(float64(in.n) / float64(in.k))); t <= in.n; t++ {
-					res, ok := assign.Optimal(ps, Z, float64(t), 2)
-					if !ok {
-						continue
-					}
-					solved++
-					key := assignKey(res.Assign)
-					distinct[key] = true
-					perZ[key] = true
-					if !assign.VerifySeparation(ps, res.Assign, Z, 2, 1e-6).Separable {
-						allSep = false
-					}
-				}
-				if len(perZ) > maxPerZ {
-					maxPerZ = len(perZ)
-				}
+				combos = append(combos, append(geo.PointSet(nil), Z...))
 				return
 			}
 			for i := start; i < len(domain); i++ {
@@ -90,6 +75,45 @@ func E13AssignmentCounting(c Cfg) *metrics.Table {
 			}
 		}
 		chooseZ(0, nil)
+
+		type e13Out struct {
+			keys   []string // one per solved (Z, t), in t order
+			allSep bool
+		}
+		outs := make([]e13Out, len(combos))
+		forEach(len(combos), func(ci int) {
+			Z := combos[ci]
+			out := e13Out{allSep: true}
+			for t := int(math.Ceil(float64(in.n) / float64(in.k))); t <= in.n; t++ {
+				res, ok := assign.Optimal(ps, Z, float64(t), 2)
+				if !ok {
+					continue
+				}
+				out.keys = append(out.keys, assignKey(res.Assign))
+				if !assign.VerifySeparation(ps, res.Assign, Z, 2, 1e-6).Separable {
+					out.allSep = false
+				}
+			}
+			outs[ci] = out
+		})
+		distinct := map[string]bool{}
+		solved := 0
+		maxPerZ := 0
+		allSep := true
+		for _, out := range outs {
+			perZ := map[string]bool{}
+			for _, key := range out.keys {
+				solved++
+				distinct[key] = true
+				perZ[key] = true
+			}
+			if len(perZ) > maxPerZ {
+				maxPerZ = len(perZ)
+			}
+			if !out.allSep {
+				allSep = false
+			}
+		}
 
 		kn := math.Pow(float64(in.k), float64(in.n))
 		sep := "yes"

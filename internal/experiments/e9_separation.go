@@ -28,9 +28,24 @@ func E9Separation(c Cfg) *metrics.Table {
 	rng := rand.New(rand.NewSource(c.Seed))
 	trials := c.n(40)
 	for _, r := range []float64{1, 2, 3} {
-		sepOpt, sepPerturbed, total, perturbedTotal := 0, 0, 0, 0
-		worst := 0.0
-		for trial := 0; trial < trials; trial++ {
+		// Draw every instance serially first — the rng is consumed in
+		// exactly the order of the serial code, so the table is unchanged —
+		// then solve the trials across the worker pool and reduce in trial
+		// order (each trial only writes its own out slot).
+		type e9Trial struct {
+			ps   geo.PointSet
+			Z    []geo.Point
+			tcap float64
+		}
+		type e9Out struct {
+			solved       bool
+			sepOpt       bool
+			violation    float64 // worst violation when not separable
+			perturbed    bool    // a strictly worse feasible swap existed
+			sepPerturbed bool
+		}
+		ts := make([]e9Trial, trials)
+		for trial := range ts {
 			n := 12 + rng.Intn(8)
 			k := 2 + rng.Intn(2)
 			ps := make(geo.PointSet, n)
@@ -41,17 +56,21 @@ func E9Separation(c Cfg) *metrics.Table {
 			for i := range Z {
 				Z[i] = geo.Point{1 + rng.Int63n(1<<12), 1 + rng.Int63n(1<<12)}
 			}
-			tcap := math.Ceil(float64(n)/float64(k)) + 1
-			res, ok := assign.Optimal(ps, Z, tcap, r)
+			ts[trial] = e9Trial{ps: ps, Z: Z, tcap: math.Ceil(float64(n)/float64(k)) + 1}
+		}
+		outs := make([]e9Out, trials)
+		forEach(trials, func(trial int) {
+			tr := ts[trial]
+			res, ok := assign.Optimal(tr.ps, tr.Z, tr.tcap, r)
 			if !ok {
-				continue
+				return
 			}
-			total++
-			rep := assign.VerifySeparation(ps, res.Assign, Z, r, 1e-6)
+			out := e9Out{solved: true}
+			rep := assign.VerifySeparation(tr.ps, res.Assign, tr.Z, r, 1e-6)
 			if rep.Separable {
-				sepOpt++
-			} else if rep.WorstViolation > worst {
-				worst = rep.WorstViolation
+				out.sepOpt = true
+			} else {
+				out.violation = rep.WorstViolation
 			}
 			// Perturb: swap two points across clusters (if possible) and
 			// re-verify. Swapping equal-count clusters keeps sizes legal,
@@ -67,13 +86,31 @@ func E9Separation(c Cfg) *metrics.Table {
 			}
 			if a >= 0 {
 				pi[a], pi[b] = pi[b], pi[a]
-				costBefore := assign.CostOfAssignment(geo.UnitWeights(ps), Z, res.Assign, r)
-				costAfter := assign.CostOfAssignment(geo.UnitWeights(ps), Z, pi, r)
+				costBefore := assign.CostOfAssignment(geo.UnitWeights(tr.ps), tr.Z, res.Assign, r)
+				costAfter := assign.CostOfAssignment(geo.UnitWeights(tr.ps), tr.Z, pi, r)
 				if costAfter > costBefore*(1+1e-9) { // strictly worse swaps only
-					perturbedTotal++
-					if assign.VerifySeparation(ps, pi, Z, r, 1e-6).Separable {
-						sepPerturbed++
-					}
+					out.perturbed = true
+					out.sepPerturbed = assign.VerifySeparation(tr.ps, pi, tr.Z, r, 1e-6).Separable
+				}
+			}
+			outs[trial] = out
+		})
+		sepOpt, sepPerturbed, total, perturbedTotal := 0, 0, 0, 0
+		worst := 0.0
+		for _, out := range outs {
+			if !out.solved {
+				continue
+			}
+			total++
+			if out.sepOpt {
+				sepOpt++
+			} else if out.violation > worst {
+				worst = out.violation
+			}
+			if out.perturbed {
+				perturbedTotal++
+				if out.sepPerturbed {
+					sepPerturbed++
 				}
 			}
 		}

@@ -14,7 +14,6 @@
 package flow
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -99,18 +98,50 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// pqueue is a typed binary min-heap on dist. It replaces the former
+// container/heap queue: no interface{} boxing on push/pop, and the
+// backing array is allocated once per MinCostFlow call and reused across
+// all Dijkstra rounds — the queue is the hot allocation site of the
+// solver, exercised once per (point, center) arc per augmentation.
+type pqueue []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *pqueue) push(it pqItem) {
+	h := append(*q, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
+
+func (q *pqueue) pop() pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].dist < h[c].dist {
+			c = r
+		}
+		if h[i].dist <= h[c].dist {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	*q = h
+	return top
 }
 
 // MinCostFlow pushes up to maxFlow units from s to t along successive
@@ -125,6 +156,7 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 	visited := make([]bool, g.n)
 	prevNode := make([]int, g.n)
 	prevEdge := make([]int, g.n)
+	q := make(pqueue, 0, g.n)
 
 	for flow < maxFlow-Eps || maxFlow == math.Inf(1) {
 		// Dijkstra on reduced costs.
@@ -133,9 +165,9 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 			visited[i] = false
 		}
 		dist[s] = 0
-		q := pq{{node: s, dist: 0}}
+		q = append(q[:0], pqItem{node: s, dist: 0})
 		for len(q) > 0 {
-			it := heap.Pop(&q).(pqItem)
+			it := q.pop()
 			u := it.node
 			if visited[u] {
 				continue
@@ -151,7 +183,7 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 					dist[e.to] = nd
 					prevNode[e.to] = u
 					prevEdge[e.to] = i
-					heap.Push(&q, pqItem{node: e.to, dist: nd})
+					q.push(pqItem{node: e.to, dist: nd})
 				}
 			}
 		}

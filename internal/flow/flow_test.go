@@ -203,3 +203,48 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+// TestPqueueOrdering drives the typed Dijkstra heap directly: any
+// interleaving of pushes and pops must always pop the minimum dist first.
+func TestPqueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q pqueue
+	var ref []float64
+	for step := 0; step < 5000; step++ {
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			d := rng.Float64()
+			q.push(pqItem{node: step, dist: d})
+			ref = append(ref, d)
+			continue
+		}
+		it := q.pop()
+		mi := 0
+		for i, d := range ref {
+			if d < ref[mi] {
+				mi = i
+			}
+		}
+		if it.dist != ref[mi] {
+			t.Fatalf("step %d: popped %v, want min %v", step, it.dist, ref[mi])
+		}
+		ref[mi] = ref[len(ref)-1]
+		ref = ref[:len(ref)-1]
+	}
+	for len(ref) > 0 {
+		it := q.pop()
+		mi := 0
+		for i, d := range ref {
+			if d < ref[mi] {
+				mi = i
+			}
+		}
+		if it.dist != ref[mi] {
+			t.Fatalf("drain: popped %v, want min %v", it.dist, ref[mi])
+		}
+		ref[mi] = ref[len(ref)-1]
+		ref = ref[:len(ref)-1]
+	}
+	if len(q) != 0 {
+		t.Fatalf("queue not drained: %d left", len(q))
+	}
+}

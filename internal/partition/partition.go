@@ -14,6 +14,7 @@ package partition
 
 import (
 	"math"
+	"sort"
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
@@ -167,6 +168,10 @@ func BuildLazy(g *grid.Grid, r, o float64, counts, partCounts CountSource) (*Par
 	}
 	// Collect crucial cells into parts (lines 9, 12, 14). Part masses may
 	// come from an independent estimate source (streaming h′-substream).
+	// Cells are visited in sorted key order: τ(Q_{i,j}) is a float sum, and
+	// summing in map-iteration order would make the last-ulp value — and
+	// hence any borderline inclusion or FAIL threshold downstream — vary
+	// between otherwise identical runs.
 	for level := 0; level <= L; level++ {
 		if len(p.heavy[level]) == 0 {
 			continue // no heavy parent level ⇒ no crucial cells here
@@ -175,7 +180,13 @@ func BuildLazy(g *grid.Grid, r, o float64, counts, partCounts CountSource) (*Par
 		if !ok {
 			return nil, ErrCounts{Level: level}
 		}
-		for key, ct := range cts {
+		keys := make([]uint64, 0, len(cts))
+		for key := range cts {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, key := range keys {
+			ct := cts[key]
 			parentIdx := grid.ParentIndex(ct.Index)
 			parentKey := g.KeyOf(level-1, parentIdx)
 			if !p.heavy[level][parentKey] {

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math/rand"
+	"sync"
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
@@ -39,6 +40,20 @@ type Storing struct {
 	fp     *hashing.Fingerprint
 
 	netUpdates int64 // net insertions − deletions, for sanity checks
+
+	// epoch counts state mutations (Update/UpdateKeyed/Merge). Result
+	// caches its decode tagged with the epoch it decoded at, so repeated
+	// extraction over an unchanged sketch skips the slab peel entirely and
+	// extraction during a long stream re-decodes only what changed. The
+	// cache is derived state: it is excluded from Bytes (see CacheBytes)
+	// and does not enter Digest. mu serializes concurrent Result calls;
+	// updates must still not run concurrently with anything else.
+	epoch      uint64
+	mu         sync.Mutex
+	cache      StoringResult
+	cacheOK    bool
+	cacheEpoch uint64
+	cacheValid bool
 }
 
 // CellCount is one recovered non-empty cell.
@@ -113,6 +128,7 @@ func (st *Storing) update(p geo.Point, delta int64) {
 		st.points.Update(st.fp.Key(p), p, delta)
 	}
 	st.netUpdates += delta
+	st.epoch++
 }
 
 // UpdateKeyed applies one update with every derivable key supplied by the
@@ -130,6 +146,7 @@ func (st *Storing) UpdateKeyed(cellKey uint64, cellIdx []int64, pointKey uint64,
 		st.points.Update(pointKey, p, delta)
 	}
 	st.netUpdates += delta
+	st.epoch++
 }
 
 // PointKey returns the key UpdateKeyed expects for p — st's point
@@ -152,7 +169,28 @@ func (st *Storing) Digest() uint64 {
 // Result decodes the sketch. ok is false on FAIL (too many cells or
 // points, or an internal verification failure); a false result carries no
 // partial information, matching Lemma 4.2.
+//
+// Decoding is deterministic in the sketch state, so Result memoizes its
+// outcome (success or FAIL) tagged with the current epoch and returns it
+// until the next mutation — periodic extraction over a long stream pays
+// only for levels that changed. The returned slices are shared with the
+// cache and must be treated as read-only. Result is safe to call from
+// concurrent goroutines on distinct or identical instances, but not
+// concurrently with updates.
 func (st *Storing) Result() (StoringResult, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cacheValid && st.cacheEpoch == st.epoch {
+		return st.cache, st.cacheOK
+	}
+	res, ok := st.decode()
+	st.cache, st.cacheOK = res, ok
+	st.cacheEpoch, st.cacheValid = st.epoch, true
+	return res, ok
+}
+
+// decode runs the actual sparse-recovery peel; mu must be held.
+func (st *Storing) decode() (StoringResult, bool) {
 	res := StoringResult{Level: st.level}
 	if st.cells != nil {
 		items, ok := st.cells.Decode()
@@ -204,6 +242,8 @@ func (st *Storing) Merge(other *Storing) {
 		st.points.Merge(other.points)
 	}
 	st.netUpdates += other.netUpdates
+	st.epoch++
+	st.DropCache() // merged-in state invalidates any cached decode
 }
 
 // CloneEmpty returns a zeroed Storing sharing st's hash functions, so the
@@ -228,6 +268,48 @@ func (st *Storing) Bytes() int64 {
 	}
 	if st.points != nil {
 		b += st.points.Bytes()
+	}
+	return b
+}
+
+// Epoch returns the update epoch: a counter bumped by every
+// state-mutating operation (Update, UpdateKeyed, Merge). Result caches
+// are tagged with it, so equal epochs mean the cached decode is current.
+func (st *Storing) Epoch() uint64 { return st.epoch }
+
+// CacheFresh reports whether a decode cached at the current epoch exists
+// — i.e. whether the next Result call is free.
+func (st *Storing) CacheFresh() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cacheValid && st.cacheEpoch == st.epoch
+}
+
+// DropCache discards the decode cache (releasing its memory). Purely a
+// performance knob: the next Result re-decodes from the slabs.
+func (st *Storing) DropCache() {
+	st.mu.Lock()
+	st.cache, st.cacheOK, st.cacheEpoch, st.cacheValid = StoringResult{}, false, 0, false
+	st.mu.Unlock()
+}
+
+// CacheBytes reports the approximate memory held by the decode cache.
+// It is deliberately NOT part of Bytes: the cache is derived state,
+// reconstructible from the slabs at any time, not sketch space — the
+// streaming space bound of Theorem 4.5 is about what must be retained to
+// answer future updates, and dropping the cache loses nothing.
+func (st *Storing) CacheBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.cacheValid {
+		return 0
+	}
+	var b int64
+	for i := range st.cache.Cells {
+		b += 40 + int64(len(st.cache.Cells[i].Index))*8
+	}
+	for i := range st.cache.Points {
+		b += 32 + int64(len(st.cache.Points[i].P))*8
 	}
 	return b
 }

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -10,7 +9,6 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
-	"streambalance/internal/solve"
 )
 
 // Auto runs the guess enumeration of Theorem 4.5: one Stream instance per
@@ -172,80 +170,4 @@ func (a *Auto) Bytes() int64 {
 // produced a weight-inconsistent coreset.
 var ErrNoGuessSucceeded = errors.New("stream: no guess o succeeded")
 
-// Result selects a guess. On insertion-only streams the reservoir gives
-// a constant-factor OPT estimate, and the largest guess ≤ estimate/4 is
-// tried first — the selection rule Theorem 4.5 prescribes. If that guess
-// fails (or deletions dirtied the reservoir), selection falls back to
-// the smallest guess whose Result succeeds with a coreset total weight
-// within 30% of the exact point count (both far-off-OPT failure modes
-// break this: sketch FAIL below, lost mass above).
-func (a *Auto) Result() (*coreset.Coreset, error) {
-	if a.n < 0 {
-		return nil, errors.New("stream: more deletions than insertions")
-	}
-	if a.reservoir.Clean() && len(a.reservoir.Sample()) >= 32 {
-		if cs := a.tryEstimateGuess(); cs != nil {
-			return cs, nil
-		}
-	}
-	// Fallback (deletions dirtied the reservoir): ascending scan with
-	// weight-sanity, pruned from above by the deletion-proof cell-count
-	// bound — guesses beyond UpperBound/4 exceed OPT by at least the
-	// bound's looseness and can only lose quality, so they are never
-	// considered. The smallest surviving guess wins: o ≤ OPT is the side
-	// the analysis needs (Lemma 3.17); a too-small o merely enlarges the
-	// coreset.
-	guessCap := math.Inf(1)
-	if upper, ok := a.costBound.UpperBound(a.params.K, 0); ok && upper > 0 {
-		guessCap = upper / 4
-	}
-	var firstErr error
-	for i, s := range a.streams {
-		if a.guesses[i] > guessCap {
-			break
-		}
-		cs, err := s.Result()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		w := cs.TotalWeight()
-		if math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
-			continue
-		}
-		return cs, nil
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("%w (first failure: %v)", ErrNoGuessSucceeded, firstErr)
-	}
-	return nil, ErrNoGuessSucceeded
-}
-
-// tryEstimateGuess picks the guess from the reservoir's OPT estimate and
-// returns its coreset if it succeeds and is weight-sane; nil otherwise.
-func (a *Auto) tryEstimateGuess() *coreset.Coreset {
-	sample := a.reservoir.Sample()
-	rng := rand.New(rand.NewSource(a.params.Seed ^ 0x0e57))
-	est := solve.EstimateOPT(rng, geo.UnitWeights(sample), a.params.K, a.params.R, a.delta, 2) *
-		float64(a.n) / float64(len(sample))
-	target := est / 4
-	best := -1
-	for i, o := range a.guesses {
-		if o <= target {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil
-	}
-	cs, err := a.streams[best].Result()
-	if err != nil {
-		return nil
-	}
-	if w := cs.TotalWeight(); math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
-		return nil
-	}
-	return cs
-}
+// Result (guess selection + extraction) lives in extract.go.

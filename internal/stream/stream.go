@@ -316,86 +316,5 @@ var ErrSketchFail = errors.New("stream: sketch decode FAILed")
 // the recovered partition.
 var ErrPlanFail = errors.New("stream: coreset plan FAILed")
 
-// Result decodes the sketches and assembles the coreset (step 4–6 of
-// Algorithm 4): heavy cells from the h-substream estimates, part masses
-// from the h′-substream, coreset points from the ĥ-substream. It does not
-// modify the sketches, so it may be called repeatedly (e.g. periodically
-// during a long stream).
-func (s *Stream) Result() (*coreset.Coreset, error) {
-	if s.n < 0 {
-		return nil, errors.New("stream: more deletions than insertions")
-	}
-	g := s.g
-	L := g.L
-	p := s.cfg.Params
-
-	rootCell := partition.CellTau{Index: make([]int64, g.Dim), Tau: float64(s.n)}
-	rootKey := g.KeyOf(-1, rootCell.Index)
-	root := map[uint64]partition.CellTau{rootKey: rootCell}
-
-	// Count sources decode each level's sketch lazily: BuildLazy consults
-	// a level only while it can still contain heavy or crucial cells, so
-	// sketches of levels below the deepest heavy cell — which can be
-	// arbitrarily over-full — are never decoded.
-	decodeCells := func(st *sketch.Storing, rate float64) (map[uint64]partition.CellTau, bool) {
-		res, ok := st.Result()
-		if !ok {
-			return nil, false
-		}
-		m := make(map[uint64]partition.CellTau, len(res.Cells))
-		for _, cc := range res.Cells {
-			m[cc.Key] = partition.CellTau{Index: cc.Index, Tau: float64(cc.Count) / rate}
-		}
-		return m, true
-	}
-	counts := func(level int) (map[uint64]partition.CellTau, bool) {
-		if level == -1 {
-			return root, true
-		}
-		return decodeCells(s.hStore[level], s.psi[level])
-	}
-	partCounts := func(level int) (map[uint64]partition.CellTau, bool) {
-		if level == -1 {
-			return root, true
-		}
-		return decodeCells(s.hpStore[level], s.psiP[level])
-	}
-
-	part, err := partition.BuildLazy(g, p.R, s.cfg.O, counts, partCounts)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSketchFail, err)
-	}
-	pl := coreset.BuildPlan(part, p)
-	if pl.Failed() {
-		return nil, fmt.Errorf("%w: %s", ErrPlanFail, pl.FailWhy)
-	}
-
-	// Levels that actually host included parts.
-	needLevel := make([]bool, L+1)
-	for id := range pl.Included {
-		needLevel[id.Level] = true
-	}
-
-	cs := &coreset.Coreset{O: s.cfg.O, Grid: g, Part: part, Plan: pl, Params: p}
-	for i := 0; i <= L; i++ {
-		if !needLevel[i] || s.phi[i] == 0 {
-			continue
-		}
-		res, ok := s.hatStore[i].Result()
-		if !ok {
-			return nil, fmt.Errorf("%w: ĥ-substream level %d", ErrSketchFail, i)
-		}
-		for _, pc := range res.Points {
-			id, ok := part.PartOf(pc.P)
-			if !ok || id.Level != i || !pl.Included[id] {
-				continue
-			}
-			cs.Points = append(cs.Points, geo.Weighted{
-				P: pc.P,
-				W: float64(pc.Count) / s.phi[i],
-			})
-			cs.Levels = append(cs.Levels, i)
-		}
-	}
-	return cs, nil
-}
+// Result decodes the sketches and assembles the coreset — see extract.go
+// for the extraction pipeline (parallel decode + epoch cache).
