@@ -1,13 +1,20 @@
-.PHONY: check test bench vet
+.PHONY: check check-assign test bench vet
 
-# Full correctness gate (CI runs exactly this): vet, build everything,
-# then the whole test suite under the race detector — the batched-ingest
-# and parallel-extraction equivalence tests only mean something with
-# -race on.
+# Full correctness gate: vet, build everything, then the whole test
+# suite under the race detector — the batched-ingest, parallel-extraction
+# and assignment-engine equivalence tests only mean something with -race
+# on. CI runs check-assign first (fast fail), then this.
 check:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+
+# Fast assignment-engine equivalence pass: pins the graph arena, the
+# blocked distance kernel, warm-started sweeps and the parallel solve
+# loops to the fresh-graph baseline, under -race. Runs in seconds; CI
+# runs it before the full suite so engine regressions fail fast.
+check-assign:
+	go test -short -race -run 'Assign|DistRMatrix' ./internal/flow ./internal/geo ./internal/assign ./internal/experiments
 
 test:
 	go build ./... && go test ./...
@@ -15,7 +22,7 @@ test:
 vet:
 	go vet ./...
 
-# Ingest- and extraction-throughput benchmarks (EXPERIMENTS.md records
-# the reference runs).
+# Ingest-, extraction- and assignment-throughput benchmarks
+# (EXPERIMENTS.md records the reference runs).
 bench:
-	go test -run xxx -bench 'Ingest|Extract' -benchmem ./internal/stream/ .
+	go test -run xxx -bench 'Ingest|Extract|AssignSweep' -benchmem ./internal/stream/ .

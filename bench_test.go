@@ -16,8 +16,11 @@ import (
 	"testing"
 
 	"streambalance"
+	"streambalance/internal/assign"
 	"streambalance/internal/experiments"
+	assigngeo "streambalance/internal/geo"
 	"streambalance/internal/metrics"
+	"streambalance/internal/solve"
 	"streambalance/internal/workload"
 )
 
@@ -227,6 +230,77 @@ func BenchmarkStreamResult(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAssignSweep measures capacitated-assignment throughput on the
+// E1-shaped workload (one fixed point set, 25 center sets, an ascending
+// capacity sweep per set) in the three engine modes of DESIGN.md §7:
+// Fresh rebuilds the flow graph and all distances per solve (the
+// historical per-call path), Arena reuses one assign.Solver with
+// warm-start disabled (skeleton + distance block amortized per center
+// set), Warm additionally warm-starts each sweep from the previous
+// capacity's potentials and residual flow.
+func BenchmarkAssignSweep(b *testing.B) {
+	ps := benchPoints(512)
+	const k = 4
+	ws := make([]assigngeo.Weighted, len(ps))
+	for i, p := range ps {
+		ws[i] = assigngeo.Weighted{P: p, W: 1}
+	}
+	rng := rand.New(rand.NewSource(7))
+	zs := make([][]assigngeo.Point, 25)
+	for i := range zs {
+		zs[i] = solve.SeedKMeansPP(rng, ws, k, 2)
+	}
+	base := assigngeo.TotalWeight(ws) / k
+	caps := []float64{1.02 * base, 1.05 * base, 1.1 * base, 1.2 * base, 1.4 * base, 1.8 * base, 2.5 * base, 4 * base}
+	solves := len(zs) * len(caps)
+
+	b.Run("Fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, Z := range zs {
+				for _, t := range caps {
+					if _, _, ok := assign.FractionalCost(ws, Z, t, 2); !ok {
+						b.Fatal("infeasible")
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*solves)/b.Elapsed().Seconds(), "solves/sec")
+	})
+	b.Run("Arena", func(b *testing.B) {
+		eng := assign.NewSolver()
+		eng.SetWarmStart(false)
+		eng.Bind(ws, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, Z := range zs {
+				eng.SetCenters(Z)
+				for _, t := range caps {
+					if _, ok := eng.Fractional(t); !ok {
+						b.Fatal("infeasible")
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*solves)/b.Elapsed().Seconds(), "solves/sec")
+	})
+	b.Run("Warm", func(b *testing.B) {
+		eng := assign.NewSolver()
+		eng.Bind(ws, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, Z := range zs {
+				eng.SetCenters(Z)
+				for _, t := range caps {
+					if _, ok := eng.Fractional(t); !ok {
+						b.Fatal("infeasible")
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*solves)/b.Elapsed().Seconds(), "solves/sec")
+	})
 }
 
 // BenchmarkCapacitatedAssign measures the min-cost-flow assignment oracle

@@ -8,10 +8,12 @@
 // -scale multiplies every instance size (use 2–4 for slower, tighter
 // runs); -only restricts to a comma-separated subset of experiment ids.
 // -bench skips the experiment suite and instead measures dynamic-stream
-// ingest throughput (batched shared-key pipeline vs per-op replay) and
+// ingest throughput (batched shared-key pipeline vs per-op replay),
 // coreset-extraction throughput (cold parallel decode vs serial vs
-// epoch-cache warm), writing the numbers to BENCH_ingest.json and
-// BENCH_extract.json for trajectory tracking.
+// epoch-cache warm) and capacitated-assignment throughput (per-call
+// fresh-graph vs arena-reuse vs warm-started capacity sweeps), writing
+// the numbers to BENCH_ingest.json, BENCH_extract.json and
+// BENCH_assign.json for trajectory tracking.
 package main
 
 import (
@@ -25,8 +27,11 @@ import (
 	"time"
 
 	"streambalance"
+	"streambalance/internal/assign"
 	"streambalance/internal/experiments"
+	"streambalance/internal/geo"
 	"streambalance/internal/metrics"
+	"streambalance/internal/solve"
 	"streambalance/internal/workload"
 )
 
@@ -203,6 +208,125 @@ func benchExtract(scale float64, seed int64) error {
 	return nil
 }
 
+// benchAssign measures capacitated-assignment throughput on the
+// E1-shaped workload — one fixed point set, many center sets, an
+// ascending capacity sweep per center set — in three modes: fresh (the
+// historical per-call FractionalCost, graph and distances rebuilt every
+// solve), arena (one assign.Solver reused cold: skeleton and distance
+// block amortized per center set) and warm (the same engine with
+// warm-started sweeps). Prints a short report and records it as
+// BENCH_assign.json. Modes are timed round-robin like benchExtract so
+// machine-noise phases spread over all three.
+func benchAssign(scale float64, seed int64) error {
+	n := int(512 * scale)
+	if n < 64 {
+		n = 64
+	}
+	const k = 4
+	const centerSets = 25
+	rng := rand.New(rand.NewSource(seed))
+	ps, _ := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: k, Spread: 20, Skew: 2, NoiseFrac: 0.05}.Generate(rng)
+	ws := geo.UnitWeights(ps)
+	zs := make([][]geo.Point, centerSets)
+	for i := range zs {
+		zs[i] = solve.SeedKMeansPP(rng, ws, k, 2)
+	}
+	base := geo.TotalWeight(ws) / k
+	caps := []float64{1.02 * base, 1.05 * base, 1.1 * base, 1.2 * base, 1.4 * base, 1.8 * base, 2.5 * base, 4 * base}
+	solves := centerSets * len(caps)
+
+	run := func(f func(Z []geo.Point, t float64) float64) float64 {
+		var sink float64
+		for _, Z := range zs {
+			for _, t := range caps {
+				sink += f(Z, t)
+			}
+		}
+		return sink
+	}
+	arena := assign.NewSolver()
+	arena.SetWarmStart(false)
+	arena.Bind(ws, 2)
+	warm := assign.NewSolver()
+	warm.Bind(ws, 2)
+	modes := []struct {
+		name string
+		f    func() float64
+	}{
+		{"fresh", func() float64 {
+			return run(func(Z []geo.Point, t float64) float64 {
+				c, _, _ := assign.FractionalCost(ws, Z, t, 2)
+				return c
+			})
+		}},
+		{"arena", func() float64 {
+			var sink float64
+			for _, Z := range zs {
+				arena.SetCenters(Z)
+				for _, t := range caps {
+					c, _ := arena.Fractional(t)
+					sink += c
+				}
+			}
+			return sink
+		}},
+		{"warm", func() float64 {
+			var sink float64
+			for _, Z := range zs {
+				warm.SetCenters(Z)
+				for _, t := range caps {
+					c, _ := warm.Fractional(t)
+					sink += c
+				}
+			}
+			return sink
+		}},
+	}
+
+	const rounds = 3
+	elapsed := make([]time.Duration, len(modes))
+	for i := 0; i < rounds; i++ {
+		for m, mode := range modes {
+			t0 := time.Now()
+			mode.f()
+			elapsed[m] += time.Since(t0)
+		}
+	}
+	freshSec := float64(rounds*solves) / elapsed[0].Seconds()
+	arenaSec := float64(rounds*solves) / elapsed[1].Seconds()
+	warmSec := float64(rounds*solves) / elapsed[2].Seconds()
+
+	rec := map[string]any{
+		"bench":                 "assign_sweep",
+		"n_points":              n,
+		"k":                     k,
+		"center_sets":           centerSets,
+		"caps_per_set":          len(caps),
+		"gomaxprocs":            runtime.GOMAXPROCS(0),
+		"seed":                  seed,
+		"solves_per_sec_fresh":  freshSec,
+		"solves_per_sec_arena":  arenaSec,
+		"solves_per_sec_warm":   warmSec,
+		"arena_speedup":         arenaSec / freshSec,
+		"warm_speedup":          warmSec / freshSec,
+		"warm_speedup_vs_arena": warmSec / arenaSec,
+	}
+	fmt.Printf("assign sweep   (n=%d points, k=%d, %d center sets × %d caps, GOMAXPROCS=%d)\n",
+		n, k, centerSets, len(caps), runtime.GOMAXPROCS(0))
+	fmt.Printf("  fresh   : %12.2f solves/sec\n", freshSec)
+	fmt.Printf("  arena   : %12.2f solves/sec  (%.2fx over fresh)\n", arenaSec, arenaSec/freshSec)
+	fmt.Printf("  warm    : %12.2f solves/sec  (%.2fx over fresh)\n", warmSec, warmSec/freshSec)
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_assign.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_assign.json")
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "instance size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -216,6 +340,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := benchExtract(*scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := benchAssign(*scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,301 @@
+package assign
+
+import (
+	"math"
+
+	"streambalance/internal/flow"
+	"streambalance/internal/geo"
+)
+
+// Solver is a reusable capacitated-assignment engine for the
+// many-solves-one-dataset pattern of the evaluation suite: hundreds of
+// near-identical min-cost-flow solves over one point set with varying
+// center sets and capacities. It amortizes the three per-call costs of
+// FractionalCost/Optimal (DESIGN.md §7):
+//
+//   - the bipartite flow skeleton (source→point arcs, per-point arc
+//     slabs to every center, sink arcs) is built once per bound point
+//     set and kept in a graph arena; a new center set only rewrites arc
+//     costs, a new capacity only rewrites sink capacities;
+//   - the point×center cost block is computed by the blocked
+//     geo.DistRMatrix kernel once per center set and shared by every
+//     capacity solve on it;
+//   - the flow.Solver workspace (potentials, Dijkstra arrays, heap
+//     backing array) survives across solves, and monotone capacity
+//     sweeps on a fixed center set warm-start from the previous solve's
+//     potentials and residual flow instead of re-augmenting from cold.
+//
+// Cold solves run the exact historical algorithm over the same arc
+// order, so their costs, flows and sizes are bit-identical to the
+// per-call FractionalCost/Optimal path. Warm-started solves reach the
+// same optimum along a different augmentation history; their cost is
+// therefore reported as flow.Graph.CostOfFlows — a deterministic
+// function of the final flows — rather than an accumulation whose float
+// rounding depends on that history.
+//
+// A Solver must not be shared between goroutines; parallel harnesses
+// keep one per worker.
+type Solver struct {
+	ws    []geo.Weighted // weighted mode (Fractional)
+	ps    geo.PointSet   // unit-weight mode (Optimal)
+	unit  bool
+	r     float64
+	total float64 // Σw in weighted mode
+	n, k  int
+
+	g         *flow.Graph
+	fs        flow.Solver
+	costs     []float64 // n×k DistR block for the current centers
+	src, sink int
+	arcID     []int // n×k point→center arc ids
+	sinkID    []int // k sink arc ids
+
+	skeleton bool        // arena holds arcs for the current (points, k)
+	lastZ    []geo.Point // current centers (general-r Unconstrained fallback)
+	haveZ    bool
+	warmOff  bool // SetWarmStart(false): always solve cold
+	canWarm  bool // last solve completed feasibly on the current centers
+	lastT    float64
+}
+
+// NewSolver returns an empty engine; Bind a point set before solving.
+func NewSolver() *Solver {
+	return &Solver{g: flow.NewGraph(0)}
+}
+
+// SetWarmStart toggles the warm-started capacity sweep (on by default).
+// With it off every solve runs cold on the arena — useful for isolating
+// the arena's contribution in benchmarks.
+func (s *Solver) SetWarmStart(on bool) { s.warmOff = !on }
+
+// Bind fixes the weighted point set and cost exponent for subsequent
+// Fractional solves. The skeleton is rebuilt on the next SetCenters; the
+// arena retains its storage. The slice is referenced, not copied.
+func (s *Solver) Bind(ws []geo.Weighted, r float64) {
+	s.ws, s.ps, s.unit = ws, nil, false
+	s.r = r
+	s.n = len(ws)
+	s.total = geo.TotalWeight(ws)
+	s.skeleton, s.haveZ, s.canWarm = false, false, false
+}
+
+// BindPoints fixes a unit-weight point set for subsequent Optimal
+// solves. The slice is referenced, not copied.
+func (s *Solver) BindPoints(ps geo.PointSet, r float64) {
+	s.ps, s.ws, s.unit = ps, nil, true
+	s.r = r
+	s.n = len(ps)
+	s.total = float64(len(ps))
+	s.skeleton, s.haveZ, s.canWarm = false, false, false
+}
+
+// SetCenters installs a center set: the cost block is recomputed with
+// the blocked kernel and written onto the arena's point→center arcs.
+// Flows from any previous solve are invalidated (a cost change voids
+// both the optimum and the warm-start potentials).
+func (s *Solver) SetCenters(Z []geo.Point) {
+	if s.ws == nil && s.ps == nil {
+		panic("assign: SetCenters before Bind")
+	}
+	if len(Z) != s.k {
+		s.skeleton = false
+	}
+	s.k = len(Z)
+	if s.unit {
+		s.costs = geo.DistRMatrix(s.ps, Z, s.r, s.costs)
+	} else {
+		s.costs = geo.DistRMatrixW(s.ws, Z, s.r, s.costs)
+	}
+	s.lastZ = Z
+	s.haveZ = true
+	s.canWarm = false
+	if s.n == 0 {
+		return
+	}
+	if !s.skeleton {
+		s.buildSkeleton()
+	} else {
+		for a, c := range s.costs {
+			s.g.SetCost(s.arcID[a], c)
+		}
+		s.g.ClearFlows()
+	}
+}
+
+// buildSkeleton (re)builds the bipartite network in the arena, in the
+// exact arc order of the historical per-call path: per point one source
+// arc then its k center arcs, then the k sink arcs. Sink capacities are
+// installed per solve.
+func (s *Solver) buildSkeleton() {
+	n, k := s.n, s.k
+	s.g.Reset(n + k + 2)
+	s.src, s.sink = 0, n+k+1
+	if cap(s.arcID) < n*k {
+		s.arcID = make([]int, n*k)
+	}
+	s.arcID = s.arcID[:n*k]
+	if cap(s.sinkID) < k {
+		s.sinkID = make([]int, k)
+	}
+	s.sinkID = s.sinkID[:k]
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if !s.unit {
+			w = s.ws[i].W
+		}
+		s.g.AddEdge(s.src, 1+i, w, 0)
+		for j := 0; j < k; j++ {
+			s.arcID[i*k+j] = s.g.AddEdge(1+i, n+1+j, w, s.costs[i*k+j])
+		}
+	}
+	for j := 0; j < k; j++ {
+		s.sinkID[j] = s.g.AddEdge(n+1+j, s.sink, 0, 0)
+	}
+	s.skeleton = true
+}
+
+// Fractional computes the optimal fractional capacitated assignment
+// cost of the bound weighted points to the current centers under
+// per-center capacity t — the same LP relaxation as FractionalCost,
+// without rebuilding the graph or the distance block. ok is false when
+// t·k < Σw (infeasible). Successive calls with non-decreasing t on the
+// same centers warm-start from the previous solve (E1's capacity-sweep
+// shape); a decreased t or a fresh center set solves cold.
+func (s *Solver) Fractional(t float64) (float64, bool) {
+	if !s.haveZ {
+		panic("assign: Fractional before SetCenters")
+	}
+	if s.unit {
+		panic("assign: Fractional on a BindPoints solver (use Optimal)")
+	}
+	if s.n == 0 {
+		return 0, true
+	}
+	if t*float64(s.k) < s.total-1e-9 {
+		return math.Inf(1), false
+	}
+	if !s.warmOff && s.canWarm && t >= s.lastT {
+		for _, id := range s.sinkID {
+			s.g.SetCap(id, t)
+		}
+		if _, ok := s.fs.ReoptimizeGrownCaps(s.g, s.sink, s.sinkID); ok {
+			s.lastT = t
+			return s.g.CostOfFlows(), true
+		}
+		// Round budget exhausted (numerical dust): fall through cold.
+	}
+	for _, id := range s.sinkID {
+		s.g.SetCap(id, t)
+	}
+	s.g.ClearFlows()
+	f, cost := s.fs.MinCostFlow(s.g, s.src, s.sink, s.total)
+	if f < s.total-1e-6*math.Max(1, s.total) {
+		s.canWarm = false
+		return math.Inf(1), false
+	}
+	s.canWarm = true
+	s.lastT = t
+	return cost, true
+}
+
+// Optimal computes the optimal integral capacitated assignment of the
+// bound unit-weight points to the current centers under per-center
+// capacity t (in points) — the same transportation solve as the
+// package-level Optimal, reusing the arena and the distance block. Every
+// call solves cold: warm-started flows can land on a different optimal
+// vertex when the optimum is degenerate, and integral callers consume
+// the assignment itself, not just its cost. ok is false when
+// ⌊t⌋·k < |ps| (no feasible partition).
+func (s *Solver) Optimal(t float64) (Result, bool) {
+	if !s.haveZ {
+		panic("assign: Optimal before SetCenters")
+	}
+	if !s.unit {
+		panic("assign: Optimal on a Bind solver (use Fractional)")
+	}
+	n, k := s.n, s.k
+	if n == 0 {
+		return Result{Assign: nil, Sizes: make([]float64, k)}, true
+	}
+	capPer := math.Floor(t + 1e-9)
+	if capPer*float64(k) < float64(n) {
+		return Infeasible, false
+	}
+	for _, id := range s.sinkID {
+		s.g.SetCap(id, capPer)
+	}
+	s.g.ClearFlows()
+	s.canWarm = false
+	f, cost := s.fs.MinCostFlow(s.g, s.src, s.sink, float64(n))
+	if f < float64(n)-1e-6 {
+		return Infeasible, false
+	}
+	flows := s.g.FlowsByID()
+	res := Result{Assign: make([]int, n), Cost: cost, Sizes: make([]float64, k)}
+	for i := 0; i < n; i++ {
+		res.Assign[i] = -1
+		for j := 0; j < k; j++ {
+			if flows[s.arcID[i*k+j]] > 0.5 {
+				res.Assign[i] = j
+				res.Sizes[j]++
+				break
+			}
+		}
+		if res.Assign[i] < 0 {
+			return Infeasible, false // should not happen at full flow
+		}
+	}
+	return res, true
+}
+
+// Unconstrained computes cost^{(r)}(Q, Z, w) — every point served by its
+// nearest center — from the engine's distance block, sharing it with the
+// capacitated solves on the same center set. For r ∈ {1, 2} the
+// arithmetic mirrors UnconstrainedCost operation for operation, so the
+// result is bit-identical to the per-call path; the block for a general
+// r holds distsq^{r/2} while UnconstrainedCost computes (√distsq)^r —
+// not the same float — so that case falls back to the scalar path.
+func (s *Solver) Unconstrained() float64 {
+	if !s.haveZ {
+		panic("assign: Unconstrained before SetCenters")
+	}
+	if s.r != 1 && s.r != 2 {
+		if s.unit {
+			return UnconstrainedCost(geo.UnitWeights(s.ps), s.lastZ, s.r)
+		}
+		return UnconstrainedCost(s.ws, s.lastZ, s.r)
+	}
+	var c float64
+	k := s.k
+	for i := 0; i < s.n; i++ {
+		row := s.costs[i*k : (i+1)*k]
+		best := math.Inf(1)
+		for _, v := range row {
+			if v < best {
+				best = v
+			}
+		}
+		w := 1.0
+		if !s.unit {
+			w = s.ws[i].W
+		}
+		// Mirror UnconstrainedCost exactly: it takes d = √(min DistSq)
+		// from DistToSet and applies PowR(d, r).
+		switch s.r {
+		case 2:
+			d := math.Sqrt(best) // block holds DistSq
+			c += w * (d * d)
+		case 1:
+			c += w * best // block holds Dist already
+		}
+	}
+	return c
+}
+
+// FlowsByID exposes the per-arc flows of the last solve (indexed by the
+// arena's arc ids, point-major then sink arcs) for equivalence tests.
+func (s *Solver) FlowsByID() []float64 { return s.g.FlowsByID() }
+
+// CostOfFlows re-evaluates the last solve's cost as a deterministic
+// function of its final flows (Σ flow·cost in arc-id order).
+func (s *Solver) CostOfFlows() float64 { return s.g.CostOfFlows() }

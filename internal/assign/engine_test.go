@@ -1,0 +1,230 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func randWeighted(rng *rand.Rand, n, d int, delta int64) []geo.Weighted {
+	ws := make([]geo.Weighted, n)
+	for i := range ws {
+		p := make(geo.Point, d)
+		for c := range p {
+			p[c] = 1 + rng.Int63n(delta)
+		}
+		ws[i] = geo.Weighted{P: p, W: 0.25 + rng.Float64()*4}
+	}
+	return ws
+}
+
+func randCenters(rng *rand.Rand, k, d int, delta int64) []geo.Point {
+	Z := make([]geo.Point, k)
+	for i := range Z {
+		p := make(geo.Point, d)
+		for c := range p {
+			p[c] = 1 + rng.Int63n(delta)
+		}
+		Z[i] = p
+	}
+	return Z
+}
+
+// TestAssignEngineColdMatchesFresh pins the arena to the per-call path:
+// rebinding centers and solving cold must reproduce FractionalCost
+// bit-for-bit (cost and every arc flow), across center sets of varying k
+// reusing one engine.
+func TestAssignEngineColdMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, r := range []float64{1, 2, 1.5} {
+		ws := randWeighted(rng, 40, 2, 64)
+		eng := NewSolver()
+		eng.SetWarmStart(false) // cold-only: every solve must be bitwise legacy
+		eng.Bind(ws, r)
+		total := geo.TotalWeight(ws)
+		for trial := 0; trial < 12; trial++ {
+			k := 2 + rng.Intn(4)
+			Z := randCenters(rng, k, 2, 64)
+			eng.SetCenters(Z)
+			// Include a near-tight, a loose, and an infeasible capacity.
+			for _, tCap := range []float64{total / float64(k) * 0.9, total / float64(k) * 1.03, total / float64(k) * 2.5} {
+				got, gotOK := eng.Fractional(tCap)
+				want, x, wantOK := FractionalCost(ws, Z, tCap, r)
+				if gotOK != wantOK {
+					t.Fatalf("r=%g trial %d t=%g: ok %v, fresh %v", r, trial, tCap, gotOK, wantOK)
+				}
+				if !wantOK {
+					continue
+				}
+				if got != want {
+					t.Fatalf("r=%g trial %d t=%g: cost %v != fresh %v (Δ=%g)", r, trial, tCap, got, want, got-want)
+				}
+				flows := eng.FlowsByID()
+				for i := range ws {
+					for j := range Z {
+						f := flows[eng.arcID[i*k+j]]
+						want := x[i][j]
+						// FractionalCost zeroes sub-Eps dust in x.
+						if f <= 1e-9 && want == 0 {
+							continue
+						}
+						if f != want {
+							t.Fatalf("r=%g trial %d t=%g: flow[%d][%d] %v != fresh %v", r, trial, tCap, i, j, f, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignEngineWarmMatchesCold runs E1-shaped monotone capacity sweeps
+// and checks the warm-started solve lands on the same optimum as a cold
+// solve: identical cost through the flow-determined CostOfFlows lens, and
+// identical total assigned mass per center (the optimum's cost is unique;
+// individual arc flows may differ only across exactly-tied optima, which
+// the random instances here avoid in cost).
+func TestAssignEngineWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, r := range []float64{1, 2} {
+		ws := randWeighted(rng, 36, 2, 128)
+		total := geo.TotalWeight(ws)
+		warm := NewSolver()
+		warm.Bind(ws, r)
+		cold := NewSolver()
+		cold.SetWarmStart(false)
+		cold.Bind(ws, r)
+		for trial := 0; trial < 10; trial++ {
+			k := 3 + rng.Intn(3)
+			Z := randCenters(rng, k, 2, 128)
+			warm.SetCenters(Z)
+			cold.SetCenters(Z)
+			b := total / float64(k)
+			for _, mult := range []float64{1.01, 1.05, 1.3, 2, 4} { // monotone sweep
+				tCap := b * mult
+				wCost, wOK := warm.Fractional(tCap)
+				cCost, cOK := cold.Fractional(tCap)
+				if wOK != cOK {
+					t.Fatalf("r=%g trial %d t=%g: warm ok %v, cold ok %v", r, trial, tCap, wOK, cOK)
+				}
+				if !wOK {
+					continue
+				}
+				// Compare both through the same deterministic lens.
+				cRecost := cold.CostOfFlows()
+				if math.Abs(wCost-cRecost) > 1e-9*(1+math.Abs(cRecost)) {
+					t.Fatalf("r=%g trial %d t=%g: warm cost %v != cold %v (Δ=%g)", r, trial, tCap, wCost, cRecost, wCost-cRecost)
+				}
+				if math.Abs(cCost-cRecost) > 1e-9*(1+math.Abs(cRecost)) {
+					t.Fatalf("r=%g trial %d t=%g: cold incremental %v vs recost %v", r, trial, tCap, cCost, cRecost)
+				}
+				// Per-center assigned mass must agree to float tolerance.
+				wf, cf := warm.FlowsByID(), cold.FlowsByID()
+				n := len(ws)
+				for j := 0; j < k; j++ {
+					var wm, cm float64
+					for i := 0; i < n; i++ {
+						wm += wf[warm.arcID[i*k+j]]
+						cm += cf[cold.arcID[i*k+j]]
+					}
+					if math.Abs(wm-cm) > 1e-6*(1+total) {
+						t.Fatalf("r=%g trial %d t=%g: center %d mass warm %v cold %v", r, trial, tCap, j, wm, cm)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignEngineWarmAfterShrink checks a capacity decrease mid-sweep
+// silently falls back to a cold solve and still matches the fresh path.
+func TestAssignEngineWarmAfterShrink(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ws := randWeighted(rng, 30, 2, 64)
+	Z := randCenters(rng, 4, 2, 64)
+	total := geo.TotalWeight(ws)
+	b := total / 4
+	eng := NewSolver()
+	eng.Bind(ws, 2)
+	eng.SetCenters(Z)
+	seq := []float64{b * 1.02, b * 2, b * 1.1, b * 3, b * 1.5}
+	for _, tCap := range seq {
+		got, gotOK := eng.Fractional(tCap)
+		want, _, wantOK := FractionalCost(ws, Z, tCap, 2)
+		if gotOK != wantOK {
+			t.Fatalf("t=%g: ok %v, fresh %v", tCap, gotOK, wantOK)
+		}
+		if !wantOK {
+			continue
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("t=%g: cost %v != fresh %v (Δ=%g)", tCap, got, want, got-want)
+		}
+	}
+}
+
+// TestAssignEngineOptimalMatchesFresh pins the integral path: the engine's
+// Optimal must reproduce the package-level Optimal exactly — cost,
+// assignment vector, and sizes — since downstream experiments consume the
+// tie-broken assignment itself.
+func TestAssignEngineOptimalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, r := range []float64{1, 2} {
+		ps := make(geo.PointSet, 32)
+		for i := range ps {
+			ps[i] = geo.Point{1 + rng.Int63n(48), 1 + rng.Int63n(48)}
+		}
+		eng := NewSolver()
+		eng.BindPoints(ps, r)
+		for trial := 0; trial < 8; trial++ {
+			k := 2 + rng.Intn(4)
+			Z := randCenters(rng, k, 2, 48)
+			eng.SetCenters(Z)
+			for _, tCap := range []float64{float64(len(ps)) / float64(k) * 0.8, float64(len(ps))/float64(k) + 1, float64(len(ps))} {
+				got, gotOK := eng.Optimal(tCap)
+				want, wantOK := Optimal(ps, Z, tCap, r)
+				if gotOK != wantOK {
+					t.Fatalf("r=%g trial %d t=%g: ok %v, fresh %v", r, trial, tCap, gotOK, wantOK)
+				}
+				if !wantOK {
+					continue
+				}
+				if got.Cost != want.Cost {
+					t.Fatalf("r=%g trial %d t=%g: cost %v != fresh %v", r, trial, tCap, got.Cost, want.Cost)
+				}
+				for i := range got.Assign {
+					if got.Assign[i] != want.Assign[i] {
+						t.Fatalf("r=%g trial %d t=%g: assign[%d] %d != fresh %d", r, trial, tCap, i, got.Assign[i], want.Assign[i])
+					}
+				}
+				for j := range got.Sizes {
+					if got.Sizes[j] != want.Sizes[j] {
+						t.Fatalf("r=%g trial %d t=%g: sizes[%d] %v != fresh %v", r, trial, tCap, j, got.Sizes[j], want.Sizes[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignEngineUnconstrainedMatchesFresh pins the nearest-center cost
+// read off the shared distance block to the scalar path.
+func TestAssignEngineUnconstrainedMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, r := range []float64{1, 2, 1.5} {
+		ws := randWeighted(rng, 50, 3, 100)
+		eng := NewSolver()
+		eng.Bind(ws, r)
+		for trial := 0; trial < 6; trial++ {
+			Z := randCenters(rng, 5, 3, 100)
+			eng.SetCenters(Z)
+			got := eng.Unconstrained()
+			want := UnconstrainedCost(ws, Z, r)
+			if got != want {
+				t.Fatalf("r=%g trial %d: %v != fresh %v (Δ=%g)", r, trial, got, want, got-want)
+			}
+		}
+	}
+}

@@ -56,7 +56,10 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 	}
 	cbGuess := cb.Guess(k)
 
-	for _, row := range []struct {
+	// Every row replays the whole stream into its own internally-seeded
+	// sketch — the expensive part — and the rows share no state, so they
+	// go over the worker pool and are added in row order afterwards.
+	rows := []struct {
 		name string
 		o    float64
 	}{
@@ -65,7 +68,11 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 		{"cell-count bound", cbGuess},
 		{"offline / 16", offline / 16},
 		{"offline × 16", offline * 16},
-	} {
+	}
+	type e12Row struct{ cells [6]string }
+	outs := make([]e12Row, len(rows))
+	forEachWorker(c.Workers, len(rows), func(_, ri int) {
+		row := rows[ri]
 		s, err := stream.New(stream.Config{
 			Dim: 2, Delta: delta, O: row.o,
 			Params: coreset.Params{K: k, Seed: c.Seed + 9},
@@ -78,15 +85,18 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 		}
 		cs, err := s.Result()
 		if err != nil {
-			tb.Add(row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
-				"FAIL", "-", "-")
-			continue
+			outs[ri] = e12Row{[6]string{row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
+				"FAIL", "-", "-"}}
+			return
 		}
 		core := assign.UnconstrainedCost(cs.Points, truec, 2)
-		tb.Add(row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
+		outs[ri] = e12Row{[6]string{row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
 			metrics.I(int64(cs.Size())),
 			fmt.Sprintf("%.3f", cs.TotalWeight()/float64(n)),
-			fmt.Sprintf("%.3f", core/fullCost))
+			fmt.Sprintf("%.3f", core/fullCost)}}
+	})
+	for _, row := range outs {
+		tb.Add(row.cells[:]...)
 	}
 	return tb
 }

@@ -29,7 +29,14 @@ func E5Distributed(c Cfg) *metrics.Table {
 		"s", "bits total", "bits/point", "rounds", "|Q'|", "cost ratio @true Z")
 	tb.Note = fmt.Sprintf("n=%d fixed; bits must grow ≈ linearly in s and be sublinear in n", n)
 
-	for _, s := range []int{2, 4, 8, 16} {
+	// Each machine count is an independent, internally-seeded protocol
+	// run, so the sweep goes over the worker pool; rows are added in
+	// sweep order afterwards (byte-identical at any worker count).
+	svals := []int{2, 4, 8, 16}
+	type e5Row struct{ cells [6]string }
+	outs := make([]e5Row, len(svals))
+	forEachWorker(c.Workers, len(svals), func(_, si int) {
+		s := svals[si]
 		machines := make([]geo.PointSet, s)
 		for i, p := range ps {
 			machines[i%s] = append(machines[i%s], p)
@@ -41,9 +48,12 @@ func E5Distributed(c Cfg) *metrics.Table {
 			panic(err)
 		}
 		core := assign.UnconstrainedCost(rep.Coreset.Points, truec, 2)
-		tb.Add(metrics.I(int64(s)), metrics.I(rep.Bits),
-			metrics.F(float64(rep.Bits)/float64(n)), metrics.I(int64(rep.Rounds)),
-			metrics.I(int64(rep.Coreset.Size())), fmt.Sprintf("%.3f", core/fullCost))
+		outs[si] = e5Row{[6]string{metrics.I(int64(s)), metrics.I(rep.Bits),
+			metrics.F(float64(rep.Bits) / float64(n)), metrics.I(int64(rep.Rounds)),
+			metrics.I(int64(rep.Coreset.Size())), fmt.Sprintf("%.3f", core/fullCost)}}
+	})
+	for _, row := range outs {
+		tb.Add(row.cells[:]...)
 	}
 	return tb
 }

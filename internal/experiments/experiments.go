@@ -10,6 +10,7 @@ package experiments
 import (
 	"math"
 	"math/rand"
+	"runtime"
 
 	"streambalance/internal/assign"
 	"streambalance/internal/geo"
@@ -20,10 +21,12 @@ import (
 
 // Cfg scales and seeds an experiment run. Scale 1 is the quick
 // configuration used by `go test -bench`; cmd/bcbench -full uses larger
-// scales.
+// scales. Workers bounds the solve-loop pool of the parallel experiments
+// (0 = GOMAXPROCS); every table is byte-identical at any worker count.
 type Cfg struct {
-	Seed  int64
-	Scale float64
+	Seed    int64
+	Scale   float64
+	Workers int
 }
 
 func (c Cfg) withDefaults() Cfg {
@@ -32,6 +35,9 @@ func (c Cfg) withDefaults() Cfg {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

@@ -13,13 +13,24 @@ import (
 // serial code — then solved concurrently, then reduced in index order.
 // fn must therefore only touch state owned by index i.
 func forEach(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	forEachWorker(runtime.GOMAXPROCS(0), n, func(_, i int) { fn(i) })
+}
+
+// forEachWorker is forEach with an explicit worker count and a worker
+// index passed to fn, so callers can keep per-worker scratch state (the
+// assignment engines of E1/E9/E13 keep one solver arena per worker).
+// Work is handed out by an atomic counter: which worker solves which
+// index is nondeterministic, so fn(w, i) must produce results that
+// depend only on i, never on w or on what worker w solved before —
+// exactly the property the per-worker engines guarantee by binding all
+// instance state before each solve.
+func forEachWorker(workers, n int, fn func(w, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -27,16 +38,16 @@ func forEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -11,9 +11,22 @@
 // source or sink arc, so the number of augmentations is at most
 // #points + #centers and real-valued capacities terminate exactly like
 // integral ones.
+//
+// The many-solves-one-dataset pattern of the evaluation suite is served
+// by two reuse mechanisms (DESIGN.md §7):
+//
+//   - a graph arena: Reset reshapes a Graph in place retaining all arc
+//     storage, and SetCost/SetCap rewrite individual arcs, so the
+//     bipartite skeleton is built once per point set and only costs
+//     (new center set) or sink capacities (new capacity) change between
+//     solves;
+//   - a Solver workspace holding the potentials, Dijkstra arrays and the
+//     heap backing array across solves, including a warm restart
+//     (ReoptimizeGrownCaps) for sweeps that only ever raise capacities.
 package flow
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -31,65 +44,152 @@ type edge struct {
 	id   int // external id; -1 for reverse edges
 }
 
+// arcLoc records where the forward half of an external edge lives, so
+// Flow/SetCost/SetCap are O(1) instead of scanning the adjacency lists.
+type arcLoc struct {
+	from, idx int
+}
+
 // Graph is a directed flow network.
 type Graph struct {
 	n     int
 	adj   [][]edge
-	edges int // number of external edges added
+	edges int      // number of external edges added
+	loc   []arcLoc // loc[id] = position of edge id's forward half
 }
 
 // NewGraph creates a network with n nodes, numbered 0..n−1.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]edge, n)}
+	g := &Graph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset reshapes g to n nodes with no arcs, retaining all backing
+// storage (adjacency slabs, the id→location index) so a skeleton of the
+// same shape can be rebuilt without allocation. All previously returned
+// arc ids become invalid; flows, capacities and costs of the old arcs
+// are discarded with them.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("flow: negative node count")
+	}
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:cap(g.adj)]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:n]
+	} else {
+		next := make([][]edge, n)
+		copy(next, g.adj)
+		g.adj = next
+	}
+	g.n = n
+	g.edges = 0
+	g.loc = g.loc[:0]
 }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
+// Arcs returns the number of external arcs added since the last Reset.
+func (g *Graph) Arcs() int { return g.edges }
+
 // AddEdge adds a directed arc from→to with the given capacity and
-// per-unit cost, returning its id for later Flow lookups. Costs must be
-// ≥ 0 for the Dijkstra-based solver (all clustering costs are).
+// per-unit cost, returning its id for later Flow/SetCost/SetCap lookups.
+// Costs must be ≥ 0 for the Dijkstra-based solver (all clustering costs
+// are).
 func (g *Graph) AddEdge(from, to int, capacity, cost float64) int {
 	if from < 0 || from >= g.n || to < 0 || to >= g.n {
 		panic("flow: node out of range")
 	}
 	if capacity < 0 {
-		panic("flow: negative capacity")
+		panic(fmt.Sprintf("flow: negative capacity %g on arc %d→%d", capacity, from, to))
 	}
 	if cost < 0 {
-		panic("flow: negative cost (Dijkstra potentials require cost ≥ 0)")
+		panic(fmt.Sprintf("flow: negative cost %g on arc %d→%d (Dijkstra potentials require cost ≥ 0)", cost, from, to))
 	}
 	id := g.edges
 	g.edges++
 	g.adj[from] = append(g.adj[from], edge{to: to, rev: len(g.adj[to]), cap: capacity, cost: cost, id: id})
 	g.adj[to] = append(g.adj[to], edge{to: from, rev: len(g.adj[from]) - 1, cap: 0, cost: -cost, id: -1})
+	g.loc = append(g.loc, arcLoc{from: from, idx: len(g.adj[from]) - 1})
 	return id
+}
+
+// arc returns the forward half of the external edge with the given id.
+func (g *Graph) arc(id int) *edge {
+	if id < 0 || id >= len(g.loc) {
+		panic("flow: unknown edge id")
+	}
+	l := g.loc[id]
+	return &g.adj[l.from][l.idx]
+}
+
+// SetCost rewrites the per-unit cost of an existing arc (both residual
+// directions), leaving capacity and flow untouched. Costs must stay ≥ 0.
+func (g *Graph) SetCost(id int, cost float64) {
+	e := g.arc(id)
+	if cost < 0 {
+		panic(fmt.Sprintf("flow: negative cost %g on arc %d→%d (Dijkstra potentials require cost ≥ 0)",
+			cost, g.loc[id].from, e.to))
+	}
+	e.cost = cost
+	g.adj[e.to][e.rev].cost = -cost
+}
+
+// SetCap rewrites the capacity of an existing arc. Lowering a capacity
+// below the arc's current flow leaves an over-full arc; callers that
+// shrink capacities must ClearFlows and re-solve (the warm-restart path
+// only ever raises them).
+func (g *Graph) SetCap(id int, capacity float64) {
+	if capacity < 0 {
+		e := g.arc(id)
+		panic(fmt.Sprintf("flow: negative capacity %g on arc %d→%d", capacity, g.loc[id].from, e.to))
+	}
+	g.arc(id).cap = capacity
+}
+
+// ClearFlows zeroes the flow on every arc (forward and reverse halves),
+// returning the graph to its unsolved state without touching the
+// skeleton, capacities or costs.
+func (g *Graph) ClearFlows() {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			g.adj[u][i].flow = 0
+		}
+	}
 }
 
 // Flow returns the flow currently routed on the external edge with the
 // given id (as returned by AddEdge).
 func (g *Graph) Flow(id int) float64 {
-	for u := range g.adj {
-		for i := range g.adj[u] {
-			if g.adj[u][i].id == id {
-				return g.adj[u][i].flow
-			}
-		}
-	}
-	panic("flow: unknown edge id")
+	return g.arc(id).flow
 }
 
 // FlowsByID returns a slice indexed by edge id holding each edge's flow.
 func (g *Graph) FlowsByID() []float64 {
 	out := make([]float64, g.edges)
-	for u := range g.adj {
-		for i := range g.adj[u] {
-			if e := &g.adj[u][i]; e.id >= 0 {
-				out[e.id] = e.flow
-			}
-		}
+	for id := range g.loc {
+		out[id] = g.adj[g.loc[id].from][g.loc[id].idx].flow
 	}
 	return out
+}
+
+// CostOfFlows evaluates Σ flow(a)·cost(a) over the external arcs in
+// ascending id order — a deterministic function of the final flows, so
+// any two solves that end in the same flows report the identical float
+// regardless of the augmentation path that produced them.
+func (g *Graph) CostOfFlows() float64 {
+	var c float64
+	for id := range g.loc {
+		e := &g.adj[g.loc[id].from][g.loc[id].idx]
+		c += e.flow * e.cost
+	}
+	return c
 }
 
 // pqItem is a Dijkstra priority-queue entry.
@@ -100,9 +200,10 @@ type pqItem struct {
 
 // pqueue is a typed binary min-heap on dist. It replaces the former
 // container/heap queue: no interface{} boxing on push/pop, and the
-// backing array is allocated once per MinCostFlow call and reused across
-// all Dijkstra rounds — the queue is the hot allocation site of the
-// solver, exercised once per (point, center) arc per augmentation.
+// backing array lives in the Solver workspace and is reused across all
+// Dijkstra rounds of all solves — the queue is the hot allocation site
+// of the solver, exercised once per (point, center) arc per
+// augmentation.
 type pqueue []pqItem
 
 func (q *pqueue) push(it pqItem) {
@@ -144,19 +245,57 @@ func (q *pqueue) pop() pqItem {
 	return top
 }
 
-// MinCostFlow pushes up to maxFlow units from s to t along successive
-// shortest paths, returning the total flow routed and its total cost.
-// Pass math.Inf(1) as maxFlow for a max-flow computation.
-func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
-	if s == t {
+// Solver is a reusable min-cost-flow workspace: Johnson potentials,
+// Dijkstra arrays and the heap backing array survive across solves, so
+// the many-solves-one-graph pattern allocates nothing after the first
+// call. A zero Solver is ready to use. A Solver must not be shared
+// between goroutines.
+type Solver struct {
+	pot, dist          []float64
+	visited            []bool
+	prevNode, prevEdge []int
+	q                  pqueue
+}
+
+// grow (re)sizes the workspace for an n-node graph, reusing backing
+// arrays when they are large enough.
+func (s *Solver) grow(n int) {
+	if cap(s.pot) < n {
+		s.pot = make([]float64, n)
+		s.dist = make([]float64, n)
+		s.visited = make([]bool, n)
+		s.prevNode = make([]int, n)
+		s.prevEdge = make([]int, n)
+	}
+	s.pot = s.pot[:n]
+	s.dist = s.dist[:n]
+	s.visited = s.visited[:n]
+	s.prevNode = s.prevNode[:n]
+	s.prevEdge = s.prevEdge[:n]
+	if s.q == nil {
+		s.q = make(pqueue, 0, n)
+	}
+}
+
+// MinCostFlow pushes up to maxFlow units from src to t along successive
+// shortest paths, returning the total flow routed and its total cost
+// (accumulated augmentation by augmentation, exactly like the historical
+// per-call implementation — a cold arena solve is therefore bit-identical
+// to a fresh-graph solve). Pass math.Inf(1) as maxFlow for a max-flow
+// computation. Potentials are zeroed at entry; on return they are the
+// shortest-path potentials of the final residual graph, which
+// ReoptimizeGrownCaps relies on.
+func (s *Solver) MinCostFlow(g *Graph, src, t int, maxFlow float64) (flow, cost float64) {
+	if src == t {
 		return 0, 0
 	}
-	pot := make([]float64, g.n) // Johnson potentials; costs are ≥ 0 initially
-	dist := make([]float64, g.n)
-	visited := make([]bool, g.n)
-	prevNode := make([]int, g.n)
-	prevEdge := make([]int, g.n)
-	q := make(pqueue, 0, g.n)
+	s.grow(g.n)
+	pot, dist, visited := s.pot, s.dist, s.visited
+	prevNode, prevEdge := s.prevNode, s.prevEdge
+	for i := range pot {
+		pot[i] = 0 // costs are ≥ 0 initially
+	}
+	q := s.q
 
 	for flow < maxFlow-Eps || maxFlow == math.Inf(1) {
 		// Dijkstra on reduced costs.
@@ -164,8 +303,8 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 			dist[i] = math.Inf(1)
 			visited[i] = false
 		}
-		dist[s] = 0
-		q = append(q[:0], pqItem{node: s, dist: 0})
+		dist[src] = 0
+		q = append(q[:0], pqItem{node: src, dist: 0})
 		for len(q) > 0 {
 			it := q.pop()
 			u := it.node
@@ -200,7 +339,7 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 		if maxFlow == math.Inf(1) {
 			push = math.Inf(1)
 		}
-		for v := t; v != s; v = prevNode[v] {
+		for v := t; v != src; v = prevNode[v] {
 			e := &g.adj[prevNode[v]][prevEdge[v]]
 			if r := e.cap - e.flow; r < push {
 				push = r
@@ -209,7 +348,7 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 		if push <= Eps {
 			break
 		}
-		for v := t; v != s; v = prevNode[v] {
+		for v := t; v != src; v = prevNode[v] {
 			e := &g.adj[prevNode[v]][prevEdge[v]]
 			e.flow += push
 			rev := &g.adj[v][e.rev]
@@ -218,5 +357,120 @@ func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
 		}
 		flow += push
 	}
+	s.q = q[:0]
 	return flow, cost
+}
+
+// ReoptimizeGrownCaps restores min-cost optimality after the capacities
+// of the arcs listed in grownIDs (all pointing into sink) were raised —
+// never lowered — on a graph whose previous solve with this same Solver
+// completed. The flow value is unchanged: raising capacities only opens
+// cheaper routings for the flow already placed, which materialize as
+// negative-cost residual cycles through the relaxed arcs; each round
+// runs one Dijkstra from sink (over reduced costs, which the retained
+// potentials keep non-negative away from the relaxed arcs), picks the
+// most negative relaxed arc, and cancels its cycle. See DESIGN.md §7 for
+// the validity argument, which needs every Dijkstra round of the
+// previous solve to have visited all nodes — true for the transportation
+// networks the assignment layer builds.
+//
+// Returns the total cost change (≤ 0) and ok=false if the round budget
+// was exhausted before optimality was restored (callers then fall back
+// to a cold re-solve; this is a numerical-dust safety net, not an
+// expected path).
+func (s *Solver) ReoptimizeGrownCaps(g *Graph, sink int, grownIDs []int) (costDelta float64, ok bool) {
+	s.grow(g.n)
+	pot, dist, visited := s.pot, s.dist, s.visited
+	prevNode, prevEdge := s.prevNode, s.prevEdge
+	q := s.q
+	defer func() { s.q = q[:0] }()
+
+	maxRounds := 4*g.n + 16
+	for round := 0; round < maxRounds; round++ {
+		// Dijkstra from sink on reduced costs over residual arcs,
+		// skipping arcs into sink (the relaxed arcs are the only ones
+		// that may carry negative reduced cost, and any negative cycle
+		// must close through one of them).
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			visited[i] = false
+		}
+		dist[sink] = 0
+		q = append(q[:0], pqItem{node: sink, dist: 0})
+		for len(q) > 0 {
+			it := q.pop()
+			u := it.node
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for i := range g.adj[u] {
+				e := &g.adj[u][i]
+				if e.to == sink || e.cap-e.flow <= Eps || visited[e.to] {
+					continue
+				}
+				nd := dist[u] + e.cost + pot[u] - pot[e.to]
+				if nd < dist[e.to]-1e-15 {
+					dist[e.to] = nd
+					prevNode[e.to] = u
+					prevEdge[e.to] = i
+					q.push(pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		for i := range pot {
+			if visited[i] {
+				pot[i] += dist[i]
+			}
+		}
+		// Most negative relaxed arc (deterministic tie-break: first in
+		// grownIDs order).
+		bestID := -1
+		bestRed := -Eps
+		for _, id := range grownIDs {
+			e := g.arc(id)
+			u := g.loc[id].from
+			if e.cap-e.flow <= Eps || !visited[u] {
+				continue
+			}
+			if red := e.cost + pot[u] - pot[sink]; red < bestRed {
+				bestRed = red
+				bestID = id
+			}
+		}
+		if bestID < 0 {
+			return costDelta, true // optimal: no negative residual cycle left
+		}
+		// Cancel the cycle sink ⇝ u → sink.
+		e := g.arc(bestID)
+		u := g.loc[bestID].from
+		push := e.cap - e.flow
+		for v := u; v != sink; v = prevNode[v] {
+			pe := &g.adj[prevNode[v]][prevEdge[v]]
+			if r := pe.cap - pe.flow; r < push {
+				push = r
+			}
+		}
+		if push <= Eps {
+			return costDelta, true // numerically saturated cycle: nothing cancellable
+		}
+		for v := u; v != sink; v = prevNode[v] {
+			pe := &g.adj[prevNode[v]][prevEdge[v]]
+			pe.flow += push
+			g.adj[pe.to][pe.rev].flow -= push
+		}
+		e.flow += push
+		g.adj[e.to][e.rev].flow -= push
+		costDelta += push * bestRed
+	}
+	return costDelta, false
+}
+
+// MinCostFlow pushes up to maxFlow units from s to t along successive
+// shortest paths, returning the total flow routed and its total cost.
+// Pass math.Inf(1) as maxFlow for a max-flow computation. A fresh
+// workspace is allocated per call; reuse a Solver to amortize it.
+func (g *Graph) MinCostFlow(s, t int, maxFlow float64) (flow, cost float64) {
+	var sv Solver
+	return sv.MinCostFlow(g, s, t, maxFlow)
 }

@@ -1,0 +1,91 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAssignDistRMatrixMatchesScalar is the property test pinning the
+// blocked kernel to the scalar DistR: over random points, centers and
+// dimensions, r ∈ {1, 2} must agree to 1 ulp (they are in fact designed
+// to be bit-identical) and general r within 1e-12 relative error.
+func TestAssignDistRMatrixMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ulp := func(v float64) float64 {
+		return math.Nextafter(math.Abs(v), math.Inf(1)) - math.Abs(v)
+	}
+	for trial := 0; trial < 50; trial++ {
+		d := 1 + rng.Intn(5) // d=2 exercises the unrolled path
+		n := rng.Intn(20)
+		k := 1 + rng.Intn(8)
+		ps := make(PointSet, n)
+		ws := make([]Weighted, n)
+		for i := range ps {
+			p := make(Point, d)
+			for c := range p {
+				p[c] = 1 + rng.Int63n(1<<20)
+			}
+			ps[i] = p
+			ws[i] = Weighted{P: p, W: 1}
+		}
+		Z := make([]Point, k)
+		for j := range Z {
+			p := make(Point, d)
+			for c := range p {
+				p[c] = 1 + rng.Int63n(1<<20)
+			}
+			Z[j] = p
+		}
+		for _, r := range []float64{1, 2, 0.5, 1.7, 3} {
+			got := DistRMatrix(ps, Z, r, nil)
+			gotW := DistRMatrixW(ws, Z, r, nil)
+			for i := 0; i < n; i++ {
+				for j := 0; j < k; j++ {
+					want := DistR(ps[i], Z[j], r)
+					v := got[i*k+j]
+					if gotW[i*k+j] != v {
+						t.Fatalf("trial %d d=%d r=%g: W-variant %v != PointSet-variant %v at (%d,%d)", trial, d, r, gotW[i*k+j], v, i, j)
+					}
+					var tol float64
+					if r == 1 || r == 2 {
+						tol = ulp(want)
+					} else {
+						tol = 1e-12 * math.Abs(want)
+					}
+					if math.Abs(v-want) > tol {
+						t.Fatalf("trial %d d=%d r=%g: kernel %v != scalar %v at (%d,%d) (Δ=%g, tol=%g)", trial, d, r, v, want, i, j, v-want, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssignDistRMatrixReusesDst pins the arena contract: a dst with
+// enough capacity is reused, not reallocated, and shrinking shapes slice
+// it down.
+func TestAssignDistRMatrixReusesDst(t *testing.T) {
+	ps := PointSet{{1, 2}, {3, 4}, {5, 6}}
+	Z := []Point{{2, 2}, {9, 9}}
+	buf := make([]float64, 0, 64)
+	out := DistRMatrix(ps, Z, 2, buf)
+	if len(out) != 6 || cap(out) != 64 {
+		t.Fatalf("dst not reused: len=%d cap=%d", len(out), cap(out))
+	}
+	out2 := DistRMatrix(ps[:1], Z, 1, out)
+	if len(out2) != 2 || cap(out2) != 64 {
+		t.Fatalf("shrunk dst not reused: len=%d cap=%d", len(out2), cap(out2))
+	}
+}
+
+// TestAssignDistRMatrixDimMismatch checks the hoisted dimension check
+// still fires like the scalar path.
+func TestAssignDistRMatrixDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched dimensions")
+		}
+	}()
+	DistRMatrix(PointSet{{1, 2}}, []Point{{1, 2, 3}}, 2, nil)
+}

@@ -143,6 +143,92 @@ func PowR(d, r float64) float64 {
 	}
 }
 
+// DistRMatrix fills dst — row-major, len(ps)×len(Z) — with the full
+// cost block dst[i*len(Z)+j] = DistR(ps[i], Z[j], r) and returns it,
+// growing dst only if it is too small. This is the blocked kernel behind
+// the assignment engine: the r-switch and the dimension checks are
+// hoisted out of the double loop, the r ∈ {1, 2} fast paths never touch
+// math.Pow, and d = 2 (the dominant experiment shape) runs an unrolled
+// inner loop. Every entry is bit-identical to the scalar DistR — the
+// accumulation order per pair is the same — so swapping a scalar loop
+// for the kernel never perturbs downstream floats.
+func DistRMatrix(ps PointSet, Z []Point, r float64, dst []float64) []float64 {
+	return distRBlock(len(ps), func(i int) Point { return ps[i] }, Z, r, dst)
+}
+
+// DistRMatrixW is DistRMatrix over the points of a weighted set, without
+// materializing the PointSet.
+func DistRMatrixW(ws []Weighted, Z []Point, r float64, dst []float64) []float64 {
+	return distRBlock(len(ws), func(i int) Point { return ws[i].P }, Z, r, dst)
+}
+
+func distRBlock(n int, point func(int) Point, Z []Point, r float64, dst []float64) []float64 {
+	k := len(Z)
+	need := n * k
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	if need == 0 {
+		return dst
+	}
+	d := len(point(0))
+	for i := 0; i < n; i++ {
+		if len(point(i)) != d {
+			panic(fmt.Sprintf("geo: dimension mismatch %d vs %d", d, len(point(i))))
+		}
+	}
+	for _, z := range Z {
+		if len(z) != d {
+			panic(fmt.Sprintf("geo: dimension mismatch %d vs %d", d, len(z)))
+		}
+	}
+	// Squared Euclidean block first (the common substrate of every r).
+	if d == 2 {
+		for i := 0; i < n; i++ {
+			p := point(i)
+			p0, p1 := p[0], p[1]
+			row := dst[i*k : (i+1)*k]
+			for j, z := range Z {
+				dx := float64(p0 - z[0])
+				dy := float64(p1 - z[1])
+				s := dx * dx
+				s += dy * dy
+				row[j] = s
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			p := point(i)
+			row := dst[i*k : (i+1)*k]
+			for j, z := range Z {
+				var s float64
+				for c := range p {
+					dd := float64(p[c] - z[c])
+					s += dd * dd
+				}
+				row[j] = s
+			}
+		}
+	}
+	switch r {
+	case 2:
+		// dst already holds DistSq.
+	case 1:
+		for i, v := range dst {
+			dst[i] = math.Sqrt(v)
+		}
+	default:
+		for i, v := range dst {
+			if v == 0 {
+				continue
+			}
+			dst[i] = math.Pow(v, r/2)
+		}
+	}
+	return dst
+}
+
 // DistToSet returns min_{z in Z} dist(p, z) and the index of the nearest
 // center, breaking ties toward the smaller index. It panics if Z is empty.
 func DistToSet(p Point, Z []Point) (float64, int) {
