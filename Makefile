@@ -1,4 +1,4 @@
-.PHONY: check check-assign test bench vet
+.PHONY: check check-assign check-dist test bench vet
 
 # Full correctness gate: vet, build everything, then the whole test
 # suite under the race detector — the batched-ingest, parallel-extraction
@@ -15,6 +15,16 @@ check:
 # runs it before the full suite so engine regressions fail fast.
 check-assign:
 	go test -short -race -run 'Assign|DistRMatrix' ./internal/flow ./internal/geo ./internal/assign ./internal/experiments
+
+# Fast distributed-protocol pass: vet the protocol packages and pin the
+# wire codec, both transports, the pipelined driver's bit-identity with
+# the serial reference and the seeding optimization, under -race. Runs in
+# seconds; CI runs it before the full suite so protocol regressions fail
+# fast.
+check-dist:
+	go vet ./internal/dist ./internal/streamfmt ./internal/solve
+	go test -short -race ./internal/dist ./internal/streamfmt
+	go test -short -race -run 'SeedKMeansPP|EstimateOPT' ./internal/solve
 
 test:
 	go build ./... && go test ./...

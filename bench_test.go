@@ -17,6 +17,8 @@ import (
 
 	"streambalance"
 	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/dist"
 	"streambalance/internal/experiments"
 	assigngeo "streambalance/internal/geo"
 	"streambalance/internal/metrics"
@@ -301,6 +303,47 @@ func BenchmarkAssignSweep(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*solves)/b.Elapsed().Seconds(), "solves/sec")
 	})
+}
+
+// BenchmarkDistProtocol measures the distributed coreset protocol on a
+// fixed 8-machine split: the serial reference driver against the
+// pipelined concurrent driver at 1, 4 and 8 workers. Wire bytes are
+// reported per op; on multi-core hosts the pipelined modes overlap the
+// machines' per-level scans and should approach a workers-fold speedup.
+func BenchmarkDistProtocol(b *testing.B) {
+	ps := benchPoints(16384)
+	const s = 8
+	machines := make([]assigngeo.PointSet, s)
+	for i, p := range ps {
+		machines[i%s] = append(machines[i%s], p)
+	}
+	cfg := dist.Config{Dim: 2, Delta: 1 << 12, Params: coreset.Params{K: 4, Seed: 1}}
+	report := func(b *testing.B, rep *dist.Report) {
+		b.ReportMetric(float64(rep.Bits)/8, "wire-bytes/op")
+		b.ReportMetric(float64(rep.FormulaBits)/8, "formula-bytes/op")
+	}
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := dist.RunSerial(machines, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, rep)
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rep, err := dist.Run(machines, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				report(b, rep)
+			}
+		})
+	}
 }
 
 // BenchmarkCapacitatedAssign measures the min-cost-flow assignment oracle

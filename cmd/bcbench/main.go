@@ -10,10 +10,13 @@
 // -bench skips the experiment suite and instead measures dynamic-stream
 // ingest throughput (batched shared-key pipeline vs per-op replay),
 // coreset-extraction throughput (cold parallel decode vs serial vs
-// epoch-cache warm) and capacitated-assignment throughput (per-call
-// fresh-graph vs arena-reuse vs warm-started capacity sweeps), writing
-// the numbers to BENCH_ingest.json, BENCH_extract.json and
-// BENCH_assign.json for trajectory tracking.
+// epoch-cache warm), capacitated-assignment throughput (per-call
+// fresh-graph vs arena-reuse vs warm-started capacity sweeps) and
+// distributed-protocol throughput (serial reference vs the pipelined
+// driver at 1/4/8 workers, plus measured wire bytes vs the closed-form
+// accounting), writing the numbers to BENCH_ingest.json,
+// BENCH_extract.json, BENCH_assign.json and BENCH_dist.json for
+// trajectory tracking.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 
 	"streambalance"
 	"streambalance/internal/assign"
+	"streambalance/internal/coreset"
+	"streambalance/internal/dist"
 	"streambalance/internal/experiments"
 	"streambalance/internal/geo"
 	"streambalance/internal/metrics"
@@ -327,6 +332,107 @@ func benchAssign(scale float64, seed int64) error {
 	return nil
 }
 
+// benchDist measures distributed-protocol wall-clock on a fixed 8-machine
+// split: the serial reference driver vs the pipelined concurrent driver at
+// 1, 4 and 8 workers, all over the default in-memory transport. It also
+// records the measured wire bits against the closed-form formula
+// accounting. Modes are timed round-robin like benchExtract; every run is
+// checked to produce the serial run's exact bit count (the drivers are
+// bit-identical by contract). Prints a short report and records it as
+// BENCH_dist.json.
+func benchDist(scale float64, seed int64) error {
+	n := int(16384 * scale)
+	if n < 2048 {
+		n = 2048
+	}
+	const k, s = 4, 8
+	rng := rand.New(rand.NewSource(seed))
+	ps, _ := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: k, Spread: 20, Skew: 2, NoiseFrac: 0.05}.Generate(rng)
+	machines := make([]geo.PointSet, s)
+	for i, p := range ps {
+		machines[i%s] = append(machines[i%s], p)
+	}
+	cfg := dist.Config{Dim: 2, Delta: 1 << 12, Params: coreset.Params{K: k, Seed: seed}}
+
+	ref, err := dist.RunSerial(machines, cfg)
+	if err != nil {
+		return err
+	}
+	modes := []struct {
+		name string
+		f    func() (*dist.Report, error)
+	}{
+		{"serial", func() (*dist.Report, error) { return dist.RunSerial(machines, cfg) }},
+		{"workers1", func() (*dist.Report, error) {
+			c := cfg
+			c.Workers = 1
+			return dist.Run(machines, c)
+		}},
+		{"workers4", func() (*dist.Report, error) {
+			c := cfg
+			c.Workers = 4
+			return dist.Run(machines, c)
+		}},
+		{"workers8", func() (*dist.Report, error) {
+			c := cfg
+			c.Workers = 8
+			return dist.Run(machines, c)
+		}},
+	}
+	const rounds = 5
+	elapsed := make([]time.Duration, len(modes))
+	for i := 0; i < rounds; i++ {
+		for m, mode := range modes {
+			t0 := time.Now()
+			rep, err := mode.f()
+			elapsed[m] += time.Since(t0)
+			if err != nil {
+				return fmt.Errorf("%s protocol run: %w", mode.name, err)
+			}
+			if rep.Bits != ref.Bits || rep.Coreset.Size() != ref.Coreset.Size() {
+				return fmt.Errorf("%s protocol run diverged from the serial reference", mode.name)
+			}
+		}
+	}
+	secs := make([]float64, len(modes))
+	for m := range modes {
+		secs[m] = elapsed[m].Seconds() / rounds
+	}
+
+	rec := map[string]any{
+		"bench":             "dist_protocol",
+		"n_points":          n,
+		"machines":          s,
+		"gomaxprocs":        runtime.GOMAXPROCS(0),
+		"seed":              seed,
+		"wire_bits":         ref.Bits,
+		"formula_bits":      ref.FormulaBits,
+		"wire_over_formula": float64(ref.Bits) / float64(ref.FormulaBits),
+		"sec_serial":        secs[0],
+		"sec_workers1":      secs[1],
+		"sec_workers4":      secs[2],
+		"sec_workers8":      secs[3],
+		"speedup_workers4":  secs[0] / secs[2],
+		"speedup_workers8":  secs[0] / secs[3],
+	}
+	fmt.Printf("dist protocol  (n=%d points, s=%d machines, GOMAXPROCS=%d)\n", n, s, runtime.GOMAXPROCS(0))
+	fmt.Printf("  wire    : %12d bits  (%.3fx of the %d-bit formula accounting)\n",
+		ref.Bits, float64(ref.Bits)/float64(ref.FormulaBits), ref.FormulaBits)
+	fmt.Printf("  serial  : %12.1f ms\n", secs[0]*1e3)
+	for m := 1; m < len(modes); m++ {
+		fmt.Printf("  %-8s: %12.1f ms  (%.2fx over serial)\n", modes[m].name, secs[m]*1e3, secs[0]/secs[m])
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_dist.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_dist.json")
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "instance size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -344,6 +450,10 @@ func main() {
 			os.Exit(1)
 		}
 		if err := benchAssign(*scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := benchDist(*scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

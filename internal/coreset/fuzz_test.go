@@ -1,0 +1,76 @@
+package coreset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/streamfmt"
+)
+
+// FuzzPortableRoundTrip drives Encode/Decode both ways: a valid Portable
+// derived from the fuzz bytes must survive the round trip exactly, and
+// the raw bytes themselves must never panic the decoder.
+func FuzzPortableRoundTrip(f *testing.F) {
+	good := &bytes.Buffer{}
+	encodeRaw(good, Portable{
+		Version: portableVersion, K: 2, R: 2, Eps: 0.5, Eta: 0.5, Delta: 16, Dim: 2,
+		Points: []geo.Weighted{{P: geo.Point{1, 2}, W: 3}},
+		Levels: []int{0},
+	})
+	f.Add(good.Bytes())
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (a) structured round trip: build a valid Portable from the bytes.
+		const delta, dim = int64(1 << 10), 2
+		p := Portable{Version: portableVersion, K: 1, R: 2, Eps: 0.5, Eta: 0.5, Delta: delta, Dim: dim}
+		off := 0
+		next := func() (int64, bool) {
+			v, n := streamfmt.Uvarint(data[off:])
+			if n <= 0 {
+				return 0, false
+			}
+			off += n
+			return int64(v % uint64(delta)), true
+		}
+		for len(p.Points) < 64 {
+			x, ok := next()
+			if !ok {
+				break
+			}
+			y, ok := next()
+			if !ok {
+				break
+			}
+			p.Points = append(p.Points, geo.Weighted{P: geo.Point{x, y}, W: float64(x%7) + 1})
+			p.Levels = append(p.Levels, int(y%5))
+		}
+		if len(p.Points) == 0 {
+			p.Points, p.Levels = nil, nil
+		}
+		var buf bytes.Buffer
+		cs := &Coreset{Points: p.Points, Levels: p.Levels, O: p.O,
+			Params: Params{K: p.K, R: p.R, Eps: p.Eps, Eta: p.Eta}}
+		if err := cs.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of valid coreset: %v", err)
+		}
+		// Encode goes through Export, which has no grid attached here.
+		p.Delta, p.Dim = 0, 0
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+		}
+
+		// (b) raw decode: arbitrary bytes must error or validate, not panic.
+		if p, err := Decode(bytes.NewReader(data)); err == nil {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Decode accepted a Portable failing Validate: %v", err)
+			}
+		}
+	})
+}

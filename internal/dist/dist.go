@@ -7,21 +7,29 @@
 // The protocol simulates Algorithm 4 (Lemma 4.6 replaces the Storing
 // sketches with exact local computation):
 //
-//	Round 1 (up):   each machine sends a small uniform sample of its local
-//	                points — the coordinator's stand-in for the distributed
-//	                2-approximation of OPT the paper cites ([FL11, BFL+17,
-//	                HSYZ18]); see DESIGN.md §1.
+//	Round 1 (up):   each machine sends its exact local size and a small
+//	                uniform sample of its local points — the coordinator's
+//	                stand-in for the distributed 2-approximation of OPT the
+//	                paper cites ([FL11, BFL+17, HSYZ18]); see DESIGN.md §1.
 //	Round 1 (down): the coordinator broadcasts the guess o, the random
-//	                grid shift, and the hash seeds, so all machines sample
-//	                the identical substreams.
+//	                grid shift, and the shared-randomness seed from which
+//	                every machine reconstructs the identical grids, cell
+//	                fingerprints and sampling hashes.
 //	Round 2 (up):   per level, each machine sends its local non-empty-cell
 //	                counts for the h and h′ substreams and its locally
-//	                ĥ-sampled points — or a 1-bit FAIL when a local cap is
+//	                ĥ-sampled points — or a FAIL when a local cap is
 //	                exceeded (Lemma 4.6's contract). The coordinator merges
 //	                counts exactly, runs Algorithms 1–2 (consulting only
 //	                levels that can matter), and assembles the coreset.
 //
-// Every message is metered in bits; Report carries the totals.
+// Since the wire-codec rewrite the subsystem is a real message-passing
+// system: machines and the coordinator exchange framed, compactly encoded
+// messages over a Transport (transport.go), the codec lives in wire.go,
+// and the concurrent pipelined driver plus the single-goroutine reference
+// RunSerial live in driver.go. Report.Bits is the measured length of the
+// encoded frames; Report.FormulaBits retains the closed-form
+// pointBits/cellBits accounting the package used before the codec, so the
+// two can be compared rather than silently swapped.
 package dist
 
 import (
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"streambalance/internal/coreset"
@@ -57,6 +66,16 @@ type Config struct {
 	PartRate  float64 // default 64
 
 	SampleSize int // round-1 per-machine sample for the OPT estimate (default 200)
+
+	// Workers bounds how many machines compute concurrently in Run
+	// (0 = one goroutine per machine, fully concurrent). The assembled
+	// coreset is bit-identical at every worker count and to RunSerial.
+	Workers int
+
+	// Transport carries the protocol's framed messages; nil selects the
+	// in-memory ChanTransport. PipeTransport runs every frame through
+	// loopback net.Conn pairs instead.
+	Transport Transport
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -97,13 +116,21 @@ func (c Config) withDefaults() (Config, error) {
 // Report is the outcome of a protocol run.
 type Report struct {
 	Coreset *coreset.Coreset
-	Bits    int64            // total communication in bits
-	ByPhase map[string]int64 // bits per protocol phase
-	Rounds  int              // communication rounds (2)
-	O       float64          // the guess used
+	Bits    int64            // measured communication: Σ 8·len(frame) over the wire
+	ByPhase map[string]int64 // measured bits per protocol phase
+
+	// FormulaBits is what the same messages would have been charged under
+	// the closed-form pointBits/cellBits accounting that predated the wire
+	// codec — kept so measured-vs-formula is reported, not silently
+	// swapped.
+	FormulaBits    int64
+	FormulaByPhase map[string]int64
+
+	Rounds int     // communication rounds (2)
+	O      float64 // the guess used
 }
 
-// bit costs
+// bit costs of the formula accounting.
 func pointBits(dim int, delta int64) int64 {
 	return int64(dim) * int64(math.Ceil(math.Log2(float64(delta)+1)))
 }
@@ -113,212 +140,482 @@ func cellBits(dim int, delta int64) int64 {
 	return int64(dim)*int64(math.Ceil(math.Log2(float64(2*delta)+1))) + 32
 }
 
-// levelMsg is one machine's per-level, per-substream message.
-type levelMsg struct {
-	fail  bool
-	cells map[uint64]partition.CellTau // merged key → (index, local count)
+// mixSeed derives independent per-role seeds from the configured seed
+// (splitmix64 finalizer): salt 0 is the broadcast shared randomness,
+// salt 1 the coordinator's OPT-estimate rng, salt j+2 machine j's
+// round-1 sample rng.
+func mixSeed(seed, salt int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(salt+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
-// pointsMsg is one machine's per-level ĥ message.
-type pointsMsg struct {
-	fail bool
-	pts  []geo.Point // locally sampled points (with multiplicity as repeats)
+// shared is the state both sides reconstruct from the round-1 broadcast:
+// the shifted grid hierarchy, the point fingerprint and the per-level
+// samplers, all drawn deterministically from the broadcast seed.
+type shared struct {
+	g              *grid.Grid
+	fp             *hashing.Fingerprint
+	lambda         int
+	psi, psiP, phi []float64
+	hSamp          []*hashing.Bernoulli
+	hpSamp         []*hashing.Bernoulli
+	hatSamp        []*hashing.Bernoulli
 }
 
-// Run executes the protocol over the machines' local point sets.
-func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
-	if len(machines) == 0 {
-		return nil, errors.New("dist: no machines")
-	}
+func newShared(cfg Config, o float64, seed int64) *shared {
 	p := cfg.Params
-	rep := &Report{ByPhase: map[string]int64{}, Rounds: 2}
-	charge := func(phase string, bits int64) {
-		rep.ByPhase[phase] += bits
-		rep.Bits += bits
+	rng := rand.New(rand.NewSource(seed))
+	g := grid.New(cfg.Delta, cfg.Dim, rng)
+	L := g.L
+	gamma := p.Gamma(g.Dim, L)
+	lambda := p.Lambda(g.Dim, L)
+	sh := &shared{
+		g: g, fp: hashing.NewFingerprint(rng), lambda: lambda,
+		psi: make([]float64, L+1), psiP: make([]float64, L+1), phi: make([]float64, L+1),
+		hSamp: make([]*hashing.Bernoulli, L+1), hpSamp: make([]*hashing.Bernoulli, L+1),
+		hatSamp: make([]*hashing.Bernoulli, L+1),
 	}
+	for i := 0; i <= L; i++ {
+		T := partition.ThresholdT(g, i, o, p.R)
+		sh.psi[i] = math.Min(1, cfg.CountRate/T)
+		sh.psiP[i] = math.Min(1, cfg.PartRate/(gamma*T))
+		sh.phi[i] = p.Phi(T, g.Dim, L)
+		sh.hSamp[i] = hashing.NewBernoulli(rng, lambda, sh.psi[i])
+		sh.hpSamp[i] = hashing.NewBernoulli(rng, lambda, sh.psiP[i])
+		sh.hatSamp[i] = hashing.NewBernoulli(rng, lambda, sh.phi[i])
+	}
+	return sh
+}
 
-	// ---- Round 1 up: per-machine samples for the OPT estimate. ----
-	rng := rand.New(rand.NewSource(p.Seed))
-	var sample geo.PointSet
-	var total int64
-	for _, m := range machines {
-		total += int64(len(m))
-		k := cfg.SampleSize
-		if k > len(m) {
-			k = len(m)
-		}
-		perm := rng.Perm(len(m))
-		for i := 0; i < k; i++ {
-			sample = append(sample, m[perm[i]])
-		}
-		charge("round1-sample", int64(k)*pointBits(cfg.Dim, cfg.Delta)+64)
+func shiftEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	if total == 0 {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- machine side ----
+
+// machineSample draws machine j's round-1 message: its exact local size
+// and a uniform sample from its machine-local rng.
+func machineSample(j int, m geo.PointSet, cfg Config) sampleMsg {
+	rng := rand.New(rand.NewSource(mixSeed(cfg.Params.Seed, int64(j)+2)))
+	k := cfg.SampleSize
+	if k > len(m) {
+		k = len(m)
+	}
+	perm := rng.Perm(len(m))
+	pts := make([]geo.Point, k)
+	for i := 0; i < k; i++ {
+		pts[i] = m[perm[i]]
+	}
+	return sampleMsg{LocalN: int64(len(m)), Pts: pts}
+}
+
+// machineCtx is one machine's round-2 compute state: its points, their
+// fingerprint keys (evaluated once and shared across all 3(L+1)
+// substreams), and the reconstructed shared randomness.
+type machineCtx struct {
+	cfg  Config
+	env  *shared
+	pts  geo.PointSet
+	keys []uint64
+}
+
+func newMachineCtx(cfg Config, env *shared, pts geo.PointSet) *machineCtx {
+	mc := &machineCtx{cfg: cfg, env: env, pts: pts, keys: make([]uint64, len(pts))}
+	for i, q := range pts {
+		mc.keys[i] = env.fp.Key(q)
+	}
+	return mc
+}
+
+// cellsAt computes the machine's level-i non-empty-cell counts under the
+// given sampler, FAILing when the distinct-cell cap is exceeded.
+func (mc *machineCtx) cellsAt(level int, samp *hashing.Bernoulli) cellsMsg {
+	g := mc.env.g
+	pos := map[uint64]int{}
+	var list []wireCell
+	idx := make([]int64, 0, g.Dim)
+	for i, q := range mc.pts {
+		if !samp.Sample(mc.keys[i]) {
+			continue
+		}
+		idx = g.CellIndexInto(idx[:0], q, level)
+		key := g.KeyOf(level, idx)
+		if at, ok := pos[key]; ok {
+			list[at].Count++
+			continue
+		}
+		if len(list) >= mc.cfg.CellCap {
+			return cellsMsg{Level: level, Fail: true}
+		}
+		pos[key] = len(list)
+		list = append(list, wireCell{Idx: append([]int64(nil), idx...), Count: 1})
+	}
+	return cellsMsg{Level: level, Cells: list}
+}
+
+// hatAt computes the machine's level-i ĥ point payload (distinct points
+// with multiplicities), FAILing when total sampled occurrences exceed the
+// point cap.
+func (mc *machineCtx) hatAt(level int) hatMsg {
+	samp := mc.env.hatSamp[level]
+	pos := map[uint64]int{}
+	var list []wirePoint
+	occ := 0
+	for i, q := range mc.pts {
+		if !samp.Sample(mc.keys[i]) {
+			continue
+		}
+		occ++
+		if occ > mc.cfg.PointCap {
+			return hatMsg{Level: level, Fail: true}
+		}
+		if at, ok := pos[mc.keys[i]]; ok {
+			list[at].Mult++
+			continue
+		}
+		pos[mc.keys[i]] = len(list)
+		list = append(list, wirePoint{P: q, Mult: 1})
+	}
+	return hatMsg{Level: level, Pts: list}
+}
+
+// ---- coordinator side ----
+
+// mcell and mpoint are merged round-2 state: exact integer counts, so the
+// merge is order-independent and the pipelined driver's arrival-order
+// merging is bit-identical to the serial machine-major merge.
+type mcell struct {
+	idx   []int64
+	count int64
+}
+
+type mpoint struct {
+	p    geo.Point
+	mult int64
+}
+
+type levelAgg struct {
+	reported int
+	failed   bool
+	cells    map[uint64]*mcell
+	final    map[uint64]partition.CellTau // built once, on first consult
+}
+
+type hatAgg struct {
+	reported      int
+	failed        bool
+	failedMachine int
+	pts           map[uint64]*mpoint
+}
+
+// coordinator holds the coordinator's merge state, shared by the serial
+// and pipelined drivers. All mutation goes through the mutex; count
+// sources and assembly wait on cond until the levels they consult are
+// complete (trivially so in RunSerial, streamingly in Run).
+type coordinator struct {
+	cfg Config
+	s   int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	rep  *Report
+	err  error // first protocol error; aborts all waits
+
+	samples []sampleMsg
+	total   int64
+	o       float64
+	env     *shared
+	root    map[uint64]partition.CellTau
+
+	hAgg   []*levelAgg // levels 0..L-1
+	hpAgg  []*levelAgg // levels 0..L
+	hatAgg []*hatAgg   // levels 0..L
+}
+
+func newCoordinator(cfg Config, s int) *coordinator {
+	co := &coordinator{
+		cfg: cfg, s: s,
+		rep:     &Report{ByPhase: map[string]int64{}, FormulaByPhase: map[string]int64{}, Rounds: 2},
+		samples: make([]sampleMsg, s),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	return co
+}
+
+func (co *coordinator) chargeLocked(phase string, frameBytes int) {
+	bits := int64(frameBytes) * 8
+	co.rep.ByPhase[phase] += bits
+	co.rep.Bits += bits
+}
+
+func (co *coordinator) formulaLocked(phase string, bits int64) {
+	co.rep.FormulaByPhase[phase] += bits
+	co.rep.FormulaBits += bits
+}
+
+// abort records the first protocol error and wakes every waiter.
+func (co *coordinator) abort(err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.err == nil && err != nil {
+		co.err = err
+	}
+	co.cond.Broadcast()
+}
+
+func (co *coordinator) firstErr() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+func (co *coordinator) aborted() bool { return co.firstErr() != nil }
+
+// addSample decodes and meters machine j's round-1 frame.
+func (co *coordinator) addSample(j int, frame []byte) {
+	m, err := decodeSample(frame, co.cfg.Dim)
+	if err != nil {
+		co.abort(fmt.Errorf("dist: machine %d sample: %w", j, err))
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.samples[j] = m
+	co.chargeLocked("round1-sample", len(frame))
+	co.formulaLocked("round1-sample", int64(len(m.Pts))*pointBits(co.cfg.Dim, co.cfg.Delta)+64)
+}
+
+// chargeBroadcast meters one machine's share of the round-1 broadcast.
+func (co *coordinator) chargeBroadcast(frameBytes int) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.chargeLocked("round1-broadcast", frameBytes)
+}
+
+// finishRound1 totals the samples, fixes the guess o, builds the shared
+// randomness and returns the encoded broadcast frame.
+func (co *coordinator) finishRound1() ([]byte, error) {
+	p := co.cfg.Params
+	var sample geo.PointSet
+	co.total = 0
+	for _, m := range co.samples {
+		co.total += m.LocalN
+		sample = append(sample, m.Pts...)
+	}
+	if co.total == 0 {
 		return nil, errors.New("dist: empty input")
 	}
-
-	o := cfg.O
+	o := co.cfg.O
 	if o <= 0 {
-		est := solve.EstimateOPT(rng, geo.UnitWeights(sample), p.K, p.R, cfg.Delta, 2) *
-			float64(total) / float64(len(sample))
+		rng := rand.New(rand.NewSource(mixSeed(p.Seed, 1)))
+		est := solve.EstimateOPT(rng, geo.UnitWeights(sample), p.K, p.R, co.cfg.Delta, 2) *
+			float64(co.total) / float64(len(sample))
 		o = est / 4
 		if o < 1 {
 			o = 1
 		}
 		o = math.Exp2(math.Floor(math.Log2(o)))
 	}
-	rep.O = o
+	co.o = o
+	co.rep.O = o
 
-	// ---- Round 1 down: broadcast shift, seeds, o. ----
-	g := grid.New(cfg.Delta, cfg.Dim, rng)
+	seed := mixSeed(p.Seed, 0)
+	co.env = newShared(co.cfg, o, seed)
+	g := co.env.g
 	L := g.L
-	gamma := p.Gamma(g.Dim, L)
-	lambda := p.Lambda(g.Dim, L)
-	fp := hashing.NewFingerprint(rng)
-	psi := make([]float64, L+1)
-	psiP := make([]float64, L+1)
-	phi := make([]float64, L+1)
-	hSamp := make([]*hashing.Bernoulli, L+1)
-	hpSamp := make([]*hashing.Bernoulli, L+1)
-	hatSamp := make([]*hashing.Bernoulli, L+1)
+	rootIdx := make([]int64, g.Dim)
+	co.root = map[uint64]partition.CellTau{
+		g.KeyOf(-1, rootIdx): {Index: rootIdx, Tau: float64(co.total)},
+	}
+	co.hAgg = make([]*levelAgg, L+1)
+	co.hpAgg = make([]*levelAgg, L+1)
+	co.hatAgg = make([]*hatAgg, L+1)
 	for i := 0; i <= L; i++ {
-		T := partition.ThresholdT(g, i, o, p.R)
-		psi[i] = math.Min(1, cfg.CountRate/T)
-		psiP[i] = math.Min(1, cfg.PartRate/(gamma*T))
-		phi[i] = p.Phi(T, g.Dim, L)
-		hSamp[i] = hashing.NewBernoulli(rng, lambda, psi[i])
-		hpSamp[i] = hashing.NewBernoulli(rng, lambda, psiP[i])
-		hatSamp[i] = hashing.NewBernoulli(rng, lambda, phi[i])
+		co.hAgg[i] = &levelAgg{cells: map[uint64]*mcell{}}
+		co.hpAgg[i] = &levelAgg{cells: map[uint64]*mcell{}}
+		co.hatAgg[i] = &hatAgg{pts: map[uint64]*mpoint{}, failedMachine: -1}
 	}
-	// Shift (d·logΔ bits) + 3(L+1) hash seeds (λ coefficients each) + o,
-	// broadcast to every machine.
-	seedBits := int64(cfg.Dim)*int64(g.L) + int64(3*(L+1)*lambda)*61 + 64
-	charge("round1-broadcast", seedBits*int64(len(machines)))
 
-	// ---- Round 2 up: per-machine local summaries. ----
-	collect := func(m geo.PointSet, samp []*hashing.Bernoulli, level int, rate float64) levelMsg {
-		cells := map[uint64]partition.CellTau{}
-		for _, q := range m {
-			if rate < 1 && !samp[level].Sample(fp.Key(q)) {
-				continue
-			}
-			key := g.CellKey(q, level)
-			ct, ok := cells[key]
-			if !ok {
-				ct = partition.CellTau{Index: g.CellIndex(q, level)}
-			}
-			ct.Tau++
-			cells[key] = ct
-			if len(cells) > cfg.CellCap {
-				return levelMsg{fail: true}
-			}
+	// Formula accounting for the broadcast (shift + 3(L+1) hash seeds of λ
+	// field coefficients each + o, per machine) and the exact local sizes.
+	seedBits := int64(co.cfg.Dim)*int64(L) + int64(3*(L+1)*co.env.lambda)*61 + 64
+	co.mu.Lock()
+	co.formulaLocked("round1-broadcast", seedBits*int64(co.s))
+	co.formulaLocked("round2-count", 64*int64(co.s))
+	co.mu.Unlock()
+
+	return encodeBroadcast(broadcastMsg{O: o, Seed: seed, Shift: g.Shift}), nil
+}
+
+// handleFrame decodes, meters and merges one round-2 frame from machine j.
+func (co *coordinator) handleFrame(j int, frame []byte) error {
+	g := co.env.g
+	switch frameType(frame) {
+	case frameCellsH:
+		m, err := decodeCells(frame, co.cfg.Dim, g.L-1)
+		if err != nil {
+			return err
 		}
-		return levelMsg{cells: cells}
+		return co.addCells(co.hAgg, "round2-h", m, len(frame))
+	case frameCellsHP:
+		m, err := decodeCells(frame, co.cfg.Dim, g.L)
+		if err != nil {
+			return err
+		}
+		return co.addCells(co.hpAgg, "round2-hp", m, len(frame))
+	case frameHat:
+		m, err := decodeHat(frame, co.cfg.Dim, g.L)
+		if err != nil {
+			return err
+		}
+		return co.addHat(j, m, len(frame))
+	default:
+		return fmt.Errorf("dist: unexpected frame type %d in round 2", frameType(frame))
 	}
+}
 
-	// The machines compute their local summaries independently — run them
-	// on separate goroutines (this is exactly the parallelism the
-	// coordinator model grants for free); the coordinator then meters the
-	// messages serially.
-	hMsgs := make([][]levelMsg, len(machines))    // [machine][level]
-	hpMsgs := make([][]levelMsg, len(machines))   // [machine][level]
-	hatMsgs := make([][]pointsMsg, len(machines)) // [machine][level]
-	var wg sync.WaitGroup
-	for mi := range machines {
-		wg.Add(1)
-		go func(mi int, m geo.PointSet) {
-			defer wg.Done()
-			hMsgs[mi] = make([]levelMsg, L+1)
-			hpMsgs[mi] = make([]levelMsg, L+1)
-			hatMsgs[mi] = make([]pointsMsg, L+1)
-			for i := 0; i <= L; i++ {
-				if i <= L-1 {
-					hMsgs[mi][i] = collect(m, hSamp, i, psi[i])
-				}
-				hpMsgs[mi][i] = collect(m, hpSamp, i, psiP[i])
-				var pm pointsMsg
-				for _, q := range m {
-					if phi[i] < 1 && !hatSamp[i].Sample(fp.Key(q)) {
-						continue
-					}
-					pm.pts = append(pm.pts, q)
-					if len(pm.pts) > cfg.PointCap {
-						pm = pointsMsg{fail: true}
-						break
-					}
-				}
-				hatMsgs[mi][i] = pm
-			}
-		}(mi, machines[mi])
+func (co *coordinator) addCells(aggs []*levelAgg, phase string, m cellsMsg, frameBytes int) error {
+	g := co.env.g
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	agg := aggs[m.Level]
+	if agg.reported >= co.s {
+		return fmt.Errorf("dist: duplicate %s frame for level %d", phase, m.Level)
 	}
-	wg.Wait()
-	for mi := range machines {
-		for i := 0; i <= L; i++ {
-			if i <= L-1 {
-				if hMsgs[mi][i].fail {
-					charge("round2-h", 1)
-				} else {
-					charge("round2-h", int64(len(hMsgs[mi][i].cells))*cellBits(cfg.Dim, cfg.Delta)+1)
-				}
-			}
-			if hpMsgs[mi][i].fail {
-				charge("round2-hp", 1)
+	co.chargeLocked(phase, frameBytes)
+	if m.Fail {
+		co.formulaLocked(phase, 1)
+		agg.failed = true
+	} else {
+		co.formulaLocked(phase, int64(len(m.Cells))*cellBits(co.cfg.Dim, co.cfg.Delta)+1)
+		for _, c := range m.Cells {
+			key := g.KeyOf(m.Level, c.Idx)
+			if cur, ok := agg.cells[key]; ok {
+				cur.count += c.Count
 			} else {
-				charge("round2-hp", int64(len(hpMsgs[mi][i].cells))*cellBits(cfg.Dim, cfg.Delta)+1)
+				agg.cells[key] = &mcell{idx: c.Idx, count: c.Count}
 			}
-			if hatMsgs[mi][i].fail {
-				charge("round2-hat", 1)
+		}
+	}
+	agg.reported++
+	if agg.reported == co.s || agg.failed {
+		co.cond.Broadcast()
+	}
+	return nil
+}
+
+func (co *coordinator) addHat(j int, m hatMsg, frameBytes int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	agg := co.hatAgg[m.Level]
+	if agg.reported >= co.s {
+		return fmt.Errorf("dist: duplicate hat frame for level %d", m.Level)
+	}
+	co.chargeLocked("round2-hat", frameBytes)
+	if m.Fail {
+		co.formulaLocked("round2-hat", 1)
+		if !agg.failed {
+			agg.failed = true
+			agg.failedMachine = j
+		}
+	} else {
+		var occ int64
+		for _, wp := range m.Pts {
+			occ += wp.Mult
+			key := co.env.fp.Key(wp.P)
+			if cur, ok := agg.pts[key]; ok {
+				cur.mult += wp.Mult
 			} else {
-				charge("round2-hat", int64(len(hatMsgs[mi][i].pts))*pointBits(cfg.Dim, cfg.Delta)+1)
+				agg.pts[key] = &mpoint{p: wp.P, mult: wp.Mult}
 			}
 		}
-		charge("round2-count", 64) // local |Q^{(j)}| for the exact total
+		co.formulaLocked("round2-hat", occ*pointBits(co.cfg.Dim, co.cfg.Delta)+1)
 	}
+	agg.reported++
+	if agg.reported == co.s || agg.failed {
+		co.cond.Broadcast()
+	}
+	return nil
+}
 
-	// ---- Coordinator: merge and run Algorithms 1–2. ----
-	merge := func(msgs [][]levelMsg, level int, rate float64) (map[uint64]partition.CellTau, bool) {
-		out := map[uint64]partition.CellTau{}
-		for mi := range msgs {
-			lm := msgs[mi][level]
-			if lm.fail {
-				return nil, false
-			}
-			for key, ct := range lm.cells {
-				cur, ok := out[key]
-				if !ok {
-					cur = partition.CellTau{Index: ct.Index}
-				}
-				cur.Tau += ct.Tau
-				out[key] = cur
-			}
-		}
-		for key, ct := range out {
-			ct.Tau /= rate
-			out[key] = ct
-		}
-		return out, true
+// waitCells blocks until every machine's frame for (aggs, level) has been
+// merged (or a FAIL/abort), then returns the rate-corrected CellTau map.
+func (co *coordinator) waitCells(aggs []*levelAgg, level int, rate float64) (map[uint64]partition.CellTau, bool) {
+	if level == -1 {
+		return co.root, true
 	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	agg := aggs[level]
+	for agg.reported < co.s && !agg.failed && co.err == nil {
+		co.cond.Wait()
+	}
+	if agg.failed || co.err != nil {
+		return nil, false
+	}
+	if agg.final == nil {
+		agg.final = make(map[uint64]partition.CellTau, len(agg.cells))
+		for key, c := range agg.cells {
+			agg.final[key] = partition.CellTau{Index: c.idx, Tau: float64(c.count) / rate}
+		}
+	}
+	return agg.final, true
+}
 
-	rootCell := partition.CellTau{Index: make([]int64, g.Dim), Tau: float64(total)}
-	root := map[uint64]partition.CellTau{g.KeyOf(-1, rootCell.Index): rootCell}
-	counts := func(level int) (map[uint64]partition.CellTau, bool) {
-		if level == -1 {
-			return root, true
-		}
-		return merge(hMsgs, level, psi[level])
+func (co *coordinator) counts(level int) (map[uint64]partition.CellTau, bool) {
+	var rate float64
+	if level >= 0 {
+		rate = co.env.psi[level]
 	}
-	partCounts := func(level int) (map[uint64]partition.CellTau, bool) {
-		if level == -1 {
-			return root, true
-		}
-		return merge(hpMsgs, level, psiP[level])
+	return co.waitCells(co.hAgg, level, rate)
+}
+
+func (co *coordinator) partCounts(level int) (map[uint64]partition.CellTau, bool) {
+	var rate float64
+	if level >= 0 {
+		rate = co.env.psiP[level]
 	}
-	part, err := partition.BuildLazy(g, p.R, o, counts, partCounts)
+	return co.waitCells(co.hpAgg, level, rate)
+}
+
+// waitHat blocks until level's ĥ payloads are fully merged, returning the
+// merged multiplicity map (nil + machine index on FAIL, nil + -1 on
+// abort).
+func (co *coordinator) waitHat(level int) (map[uint64]*mpoint, int, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	agg := co.hatAgg[level]
+	for agg.reported < co.s && !agg.failed && co.err == nil {
+		co.cond.Wait()
+	}
+	if agg.failed {
+		return nil, agg.failedMachine, false
+	}
+	if co.err != nil {
+		return nil, -1, false
+	}
+	return agg.pts, -1, true
+}
+
+// buildCoreset runs Algorithms 1–2 over the (possibly still streaming)
+// merged counts and assembles the coreset in deterministic point order.
+func (co *coordinator) buildCoreset() (*coreset.Coreset, error) {
+	p := co.cfg.Params
+	part, err := partition.BuildLazy(co.env.g, p.R, co.o, co.counts, co.partCounts)
 	if err != nil {
+		if ce := co.firstErr(); ce != nil {
+			return nil, ce
+		}
 		return nil, fmt.Errorf("dist: %w (a machine exceeded its level cap)", err)
 	}
 	pl := coreset.BuildPlan(part, p)
@@ -326,40 +623,39 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("dist: plan FAILed: %s", pl.FailWhy)
 	}
 
+	L := co.env.g.L
 	needLevel := make([]bool, L+1)
 	for id := range pl.Included {
 		needLevel[id.Level] = true
 	}
-	cs := &coreset.Coreset{O: o, Grid: g, Part: part, Plan: pl, Params: p}
+	cs := &coreset.Coreset{O: co.o, Grid: co.env.g, Part: part, Plan: pl, Params: p}
 	for i := 0; i <= L; i++ {
 		if !needLevel[i] {
 			continue
 		}
-		// Merge ĥ points of level i (with multiplicity).
-		agg := map[string]struct {
-			p geo.Point
-			m int64
-		}{}
-		for mi := range hatMsgs {
-			pm := hatMsgs[mi][i]
-			if pm.fail {
-				return nil, fmt.Errorf("dist: machine %d exceeded point cap at level %d", mi, i)
+		agg, failedMachine, ok := co.waitHat(i)
+		if !ok {
+			if ce := co.firstErr(); ce != nil {
+				return nil, ce
 			}
-			for _, q := range pm.pts {
-				e := agg[q.String()]
-				e.p, e.m = q, e.m+1
-				agg[q.String()] = e
-			}
+			return nil, fmt.Errorf("dist: machine %d exceeded point cap at level %d", failedMachine, i)
 		}
+		// Deterministic assembly: merged points visited in alphabetical
+		// order, so the coreset's point order (and every downstream float
+		// sum over it) is identical at any worker count.
+		pts := make([]*mpoint, 0, len(agg))
 		for _, e := range agg {
+			pts = append(pts, e)
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].p.Less(pts[b].p) })
+		for _, e := range pts {
 			id, ok := part.PartOf(e.p)
 			if !ok || id.Level != i || !pl.Included[id] {
 				continue
 			}
-			cs.Points = append(cs.Points, geo.Weighted{P: e.p, W: float64(e.m) / phi[i]})
+			cs.Points = append(cs.Points, geo.Weighted{P: e.p, W: float64(e.mult) / co.env.phi[i]})
 			cs.Levels = append(cs.Levels, i)
 		}
 	}
-	rep.Coreset = cs
-	return rep, nil
+	return cs, nil
 }

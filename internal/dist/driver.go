@@ -1,0 +1,262 @@
+package dist
+
+// Protocol drivers. Run executes the protocol concurrently: every machine
+// computes in its own goroutine (bounded by Config.Workers) and streams
+// its round-2 frames level by level, while per-link coordinator readers
+// merge counts as they arrive and the coordinator's partition build
+// (Algorithms 1–2) runs pipelined against the still-incoming levels —
+// a count source blocks only until the specific level it consults is
+// complete. RunSerial is the single-goroutine reference: the same frames,
+// metered and merged machine-major, with no concurrency anywhere. Both
+// produce bit-identical Reports (see dist_test.go), because machine
+// compute is deterministic, merges sum exact integers (arrival-order
+// independent), and assembly sorts merged points.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"streambalance/internal/geo"
+)
+
+func validate(machines []geo.PointSet, cfg Config) (Config, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return cfg, err
+	}
+	if len(machines) == 0 {
+		return cfg, errors.New("dist: no machines")
+	}
+	return cfg, nil
+}
+
+// Run executes the protocol with the pipelined concurrent driver over
+// cfg.Transport (ChanTransport by default).
+func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
+	cfg, err := validate(machines, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = ChanTransport{}
+	}
+	links, err := tr.Links(len(machines))
+	if err != nil {
+		return nil, err
+	}
+	s := len(machines)
+	co := newCoordinator(cfg, s)
+
+	workers := cfg.Workers
+	if workers <= 0 || workers > s {
+		workers = s
+	}
+	sem := make(chan struct{}, workers)
+
+	var mwg sync.WaitGroup
+	for j := range machines {
+		mwg.Add(1)
+		go func(j int) {
+			defer mwg.Done()
+			runMachine(links[j].Machine, j, machines[j], cfg, sem)
+		}(j)
+	}
+
+	// Round 1 up: one reader per link collects the sample frame.
+	var rwg sync.WaitGroup
+	for j := range links {
+		rwg.Add(1)
+		go func(j int) {
+			defer rwg.Done()
+			f, err := links[j].Coord.Recv()
+			if err != nil {
+				co.abort(fmt.Errorf("dist: machine %d round 1: %w", j, err))
+				return
+			}
+			co.addSample(j, f)
+		}(j)
+	}
+	rwg.Wait()
+
+	fail := func(err error) (*Report, error) {
+		for _, l := range links {
+			l.Coord.Close()
+		}
+		mwg.Wait()
+		return nil, err
+	}
+	if err := co.firstErr(); err != nil {
+		return fail(err)
+	}
+	bframe, err := co.finishRound1()
+	if err != nil {
+		return fail(err)
+	}
+
+	// Round 1 down + round 2 up: per-link readers merge frames as they
+	// arrive, waking any count source blocked on the level they complete.
+	var r2wg sync.WaitGroup
+	for j := range links {
+		r2wg.Add(1)
+		go func(j int) {
+			defer r2wg.Done()
+			if err := links[j].Coord.Send(bframe); err != nil {
+				co.abort(fmt.Errorf("dist: broadcast to machine %d: %w", j, err))
+				return
+			}
+			co.chargeBroadcast(len(bframe))
+			co.readRound2(j, links[j].Coord)
+		}(j)
+	}
+
+	// The coordinator's own build runs concurrently with the readers,
+	// blocking per consulted level rather than per round.
+	cs, buildErr := co.buildCoreset()
+
+	r2wg.Wait()
+	mwg.Wait()
+	for _, l := range links {
+		l.Coord.Close()
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if err := co.firstErr(); err != nil {
+		return nil, err
+	}
+	co.rep.Coreset = cs
+	return co.rep, nil
+}
+
+// readRound2 drains machine j's round-2 frames into the merge state. It
+// always reads to EOF — even after an abort — so a machine blocked on a
+// full link can finish and exit.
+func (co *coordinator) readRound2(j int, c Conn) {
+	expected := 3*co.env.g.L + 2
+	seen := 0
+	for {
+		f, err := c.Recv()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			co.abort(fmt.Errorf("dist: machine %d round 2: %w", j, err))
+			return
+		}
+		if co.aborted() {
+			continue // drain without merging
+		}
+		if err := co.handleFrame(j, f); err != nil {
+			co.abort(fmt.Errorf("dist: machine %d: %w", j, err))
+			continue
+		}
+		seen++
+	}
+	if seen != expected && !co.aborted() {
+		co.abort(fmt.Errorf("dist: machine %d closed after %d of %d round-2 frames", j, seen, expected))
+	}
+}
+
+// runMachine is one machine's side of the protocol. The semaphore bounds
+// how many machines compute at once (Config.Workers); waiting on the
+// network is never counted against it.
+func runMachine(c Conn, j int, pts geo.PointSet, cfg Config, sem chan struct{}) {
+	defer c.Close()
+
+	sem <- struct{}{}
+	frame := encodeSample(machineSample(j, pts, cfg))
+	<-sem
+	if c.Send(frame) != nil {
+		return
+	}
+
+	bf, err := c.Recv()
+	if err != nil {
+		return
+	}
+	bc, err := decodeBroadcast(bf, cfg.Dim)
+	if err != nil {
+		return // coordinator sees the early close and aborts
+	}
+
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	env := newShared(cfg, bc.O, bc.Seed)
+	if !shiftEqual(env.g.Shift, bc.Shift) {
+		return // shared-randomness reconstruction mismatch
+	}
+	mc := newMachineCtx(cfg, env, pts)
+	for level := 0; level <= env.g.L; level++ {
+		if level < env.g.L {
+			if c.Send(encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level]))) != nil {
+				return
+			}
+		}
+		if c.Send(encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level]))) != nil {
+			return
+		}
+		if c.Send(encodeHat(mc.hatAt(level))) != nil {
+			return
+		}
+	}
+}
+
+// RunSerial executes the identical protocol with no goroutines: every
+// frame is encoded, metered and decoded machine-major in a single thread.
+// It is the reference Run is pinned against — same Report bits, same
+// coreset, bit for bit.
+func RunSerial(machines []geo.PointSet, cfg Config) (*Report, error) {
+	cfg, err := validate(machines, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := len(machines)
+	co := newCoordinator(cfg, s)
+
+	for j, m := range machines {
+		co.addSample(j, encodeSample(machineSample(j, m, cfg)))
+	}
+	if err := co.firstErr(); err != nil {
+		return nil, err
+	}
+	bframe, err := co.finishRound1()
+	if err != nil {
+		return nil, err
+	}
+
+	for j, m := range machines {
+		co.chargeBroadcast(len(bframe))
+		bc, err := decodeBroadcast(bframe, cfg.Dim)
+		if err != nil {
+			return nil, err
+		}
+		env := newShared(cfg, bc.O, bc.Seed)
+		if !shiftEqual(env.g.Shift, bc.Shift) {
+			return nil, fmt.Errorf("dist: machine %d shared-randomness mismatch", j)
+		}
+		mc := newMachineCtx(cfg, env, m)
+		for level := 0; level <= env.g.L; level++ {
+			if level < env.g.L {
+				if err := co.handleFrame(j, encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level]))); err != nil {
+					return nil, err
+				}
+			}
+			if err := co.handleFrame(j, encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level]))); err != nil {
+				return nil, err
+			}
+			if err := co.handleFrame(j, encodeHat(mc.hatAt(level))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cs, err := co.buildCoreset()
+	if err != nil {
+		return nil, err
+	}
+	co.rep.Coreset = cs
+	return co.rep, nil
+}

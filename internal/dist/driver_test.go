@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+)
+
+// reportEqual asserts two protocol runs are bit-identical: same guess,
+// same measured and formula accounting, and the same coreset point for
+// point, weight for weight.
+func reportEqual(t *testing.T, tag string, a, b *Report) {
+	t.Helper()
+	if a.O != b.O {
+		t.Fatalf("%s: O %v vs %v", tag, a.O, b.O)
+	}
+	if a.Bits != b.Bits || !reflect.DeepEqual(a.ByPhase, b.ByPhase) {
+		t.Fatalf("%s: measured bits %d %v vs %d %v", tag, a.Bits, a.ByPhase, b.Bits, b.ByPhase)
+	}
+	if a.FormulaBits != b.FormulaBits || !reflect.DeepEqual(a.FormulaByPhase, b.FormulaByPhase) {
+		t.Fatalf("%s: formula bits %d vs %d", tag, a.FormulaBits, b.FormulaBits)
+	}
+	ca, cb := a.Coreset, b.Coreset
+	if ca.Size() != cb.Size() {
+		t.Fatalf("%s: coreset size %d vs %d", tag, ca.Size(), cb.Size())
+	}
+	if !reflect.DeepEqual(ca.Levels, cb.Levels) {
+		t.Fatalf("%s: coreset levels differ", tag)
+	}
+	for i := range ca.Points {
+		if !ca.Points[i].P.Equal(cb.Points[i].P) || ca.Points[i].W != cb.Points[i].W {
+			t.Fatalf("%s: coreset point %d: %v w=%v vs %v w=%v",
+				tag, i, ca.Points[i].P, ca.Points[i].W, cb.Points[i].P, cb.Points[i].W)
+		}
+	}
+}
+
+// The pipelined driver must be bit-identical to the serial reference at
+// every worker count — the determinism contract of the whole rewrite.
+func TestPipelinedMatchesSerialBitwise(t *testing.T) {
+	ps, _ := testMixture(11, 4000)
+	rng := rand.New(rand.NewSource(12))
+	machines := splitAcross(ps, 6, rng)
+	base := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 13}}
+
+	ref, err := RunSerial(machines, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Coreset.Size() == 0 {
+		t.Fatal("reference coreset is empty")
+	}
+	for _, workers := range []int{0, 1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		rep, err := Run(machines, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		reportEqual(t, "workers", ref, rep)
+	}
+}
+
+// The same must hold when every frame travels through real loopback
+// net.Conn byte pipes instead of in-memory channels.
+func TestPipeTransportMatchesSerial(t *testing.T) {
+	ps, _ := testMixture(14, 2500)
+	rng := rand.New(rand.NewSource(15))
+	machines := splitAcross(ps, 4, rng)
+	base := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 16}}
+
+	ref, err := RunSerial(machines, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Transport = PipeTransport{}
+	cfg.Workers = 3
+	rep, err := Run(machines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportEqual(t, "pipe", ref, rep)
+
+	cfg.Transport = ChanTransport{Buf: 1} // maximal backpressure
+	rep, err = Run(machines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportEqual(t, "chan-buf1", ref, rep)
+}
+
+// Cap failures must surface as errors from the concurrent driver — no
+// panic, no deadlock, machines drained cleanly.
+func TestTightCapsFailAcrossDrivers(t *testing.T) {
+	ps, _ := testMixture(17, 2000)
+	rng := rand.New(rand.NewSource(18))
+	machines := splitAcross(ps, 3, rng)
+	for _, tr := range []Transport{nil, PipeTransport{}} {
+		cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 19},
+			CellCap: 2, PointCap: 2, Transport: tr}
+		if _, err := Run(machines, cfg); err == nil {
+			t.Fatalf("transport %T: tight caps must fail", tr)
+		}
+		if _, err := RunSerial(machines, cfg); err == nil {
+			t.Fatalf("transport %T: serial tight caps must fail", tr)
+		}
+	}
+}
+
+// RunSerial must reject the same invalid configs Run does.
+func TestRunSerialValidation(t *testing.T) {
+	if _, err := RunSerial(nil, Config{Dim: 2, Delta: 16, Params: coreset.Params{K: 2}}); err == nil {
+		t.Fatal("no machines must error")
+	}
+	if _, err := RunSerial([]geo.PointSet{{}}, Config{Dim: 2, Delta: 16, Params: coreset.Params{K: 2}}); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+// Measured wire bits must not exceed the closed-form formula accounting
+// on realistic inputs — the codec's whole point.
+func TestMeasuredBitsBeatFormula(t *testing.T) {
+	ps, _ := testMixture(20, 3000)
+	rng := rand.New(rand.NewSource(21))
+	for _, s := range []int{2, 8} {
+		machines := splitAcross(ps, s, rng)
+		rep, err := Run(machines, Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 22}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Bits >= rep.FormulaBits {
+			t.Fatalf("s=%d: measured %d bits >= formula %d bits", s, rep.Bits, rep.FormulaBits)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package dist
+
+// Transport abstraction for the coordinator protocol: machines and the
+// coordinator exchange framed messages over per-machine bidirectional
+// Links. Two implementations ship: ChanTransport (buffered in-process
+// channels — the default, giving the pipelined driver cheap asynchrony)
+// and PipeTransport (length-prefixed frames over loopback net.Conn pairs
+// from net.Pipe — every frame actually serialized through a synchronous
+// byte pipe, the closest in-process stand-in for a real network).
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"streambalance/internal/streamfmt"
+)
+
+// Conn is one endpoint of a machine↔coordinator link. Send transfers one
+// frame to the peer; Recv returns the next frame, or io.EOF once the peer
+// has closed and every in-flight frame has been delivered. A Conn is safe
+// for one sender and one receiver goroutine (the protocol's shape); Close
+// may race with either.
+type Conn interface {
+	Send(frame []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Link is a bidirectional machine↔coordinator connection.
+type Link struct {
+	Coord   Conn // the coordinator's endpoint
+	Machine Conn // the machine's endpoint
+}
+
+// Transport produces the links of one protocol instance.
+type Transport interface {
+	Links(machines int) ([]Link, error)
+}
+
+// errClosed is returned by operations on a locally closed Conn.
+var errClosed = errors.New("dist: connection closed")
+
+// ChanTransport links each machine to the coordinator through a pair of
+// buffered frame channels. Buf bounds the in-flight frames per direction
+// (0 selects a default deep enough that a machine never blocks on the
+// coordinator within one level's burst).
+type ChanTransport struct {
+	Buf int
+}
+
+func (t ChanTransport) Links(machines int) ([]Link, error) {
+	buf := t.Buf
+	if buf <= 0 {
+		buf = 64
+	}
+	links := make([]Link, machines)
+	for i := range links {
+		a, b := newChanPair(buf)
+		links[i] = Link{Coord: a, Machine: b}
+	}
+	return links, nil
+}
+
+type chanConn struct {
+	out, in             chan []byte
+	localDone, peerDone chan struct{}
+	once                sync.Once
+}
+
+func newChanPair(buf int) (a, b *chanConn) {
+	ab := make(chan []byte, buf)
+	ba := make(chan []byte, buf)
+	da := make(chan struct{})
+	db := make(chan struct{})
+	a = &chanConn{out: ab, in: ba, localDone: da, peerDone: db}
+	b = &chanConn{out: ba, in: ab, localDone: db, peerDone: da}
+	return a, b
+}
+
+func (c *chanConn) Send(frame []byte) error {
+	select {
+	case <-c.localDone:
+		return errClosed
+	case <-c.peerDone:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case c.out <- frame:
+		return nil
+	case <-c.localDone:
+		return errClosed
+	case <-c.peerDone:
+		return io.ErrClosedPipe
+	}
+}
+
+func (c *chanConn) Recv() ([]byte, error) {
+	// Buffered frames are delivered even after either side closes: a
+	// machine closes its endpoint as soon as its last level is sent, and
+	// those frames must still reach the coordinator.
+	select {
+	case f := <-c.in:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.localDone:
+		return nil, errClosed
+	case <-c.peerDone:
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.localDone) })
+	return nil
+}
+
+// PipeTransport carries frames over synchronous loopback net.Conn pairs
+// (net.Pipe), each frame length-prefixed with a varint. It exists to pin
+// the protocol against a real byte-stream transport: nothing is shared
+// between endpoints but serialized bytes.
+type PipeTransport struct{}
+
+func (PipeTransport) Links(machines int) ([]Link, error) {
+	links := make([]Link, machines)
+	for i := range links {
+		cc, mc := net.Pipe()
+		links[i] = Link{Coord: newPipeConn(cc), Machine: newPipeConn(mc)}
+	}
+	return links, nil
+}
+
+type pipeConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	wm sync.Mutex
+}
+
+func newPipeConn(c net.Conn) *pipeConn {
+	return &pipeConn{c: c, br: bufio.NewReader(c)}
+}
+
+func (p *pipeConn) Send(frame []byte) error {
+	buf := streamfmt.AppendUvarint(make([]byte, 0, len(frame)+streamfmt.MaxVarintLen), uint64(len(frame)))
+	buf = append(buf, frame...)
+	p.wm.Lock()
+	defer p.wm.Unlock()
+	_, err := p.c.Write(buf)
+	return err
+}
+
+func (p *pipeConn) Recv() ([]byte, error) {
+	n, err := readUvarint(p.br)
+	if err != nil {
+		if errors.Is(err, io.ErrClosedPipe) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(p.br, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (p *pipeConn) Close() error { return p.c.Close() }
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errTruncated
+}

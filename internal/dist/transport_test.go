@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func transports() map[string]Transport {
+	return map[string]Transport{
+		"chan":      ChanTransport{},
+		"chan-buf1": ChanTransport{Buf: 1},
+		"pipe":      PipeTransport{},
+	}
+}
+
+// Frames sent before the sender closes must all arrive, in order,
+// followed by io.EOF.
+func TestTransportDeliveryAndEOF(t *testing.T) {
+	for name, tr := range transports() {
+		t.Run(name, func(t *testing.T) {
+			links, err := tr.Links(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := links[0]
+			const n = 100
+			go func() {
+				for i := 0; i < n; i++ {
+					if err := l.Machine.Send([]byte{byte(i), byte(i >> 8)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				l.Machine.Close()
+			}()
+			for i := 0; i < n; i++ {
+				f, err := l.Coord.Recv()
+				if err != nil {
+					t.Fatalf("frame %d: %v", i, err)
+				}
+				if len(f) != 2 || f[0] != byte(i) || f[1] != byte(i>>8) {
+					t.Fatalf("frame %d corrupted: %v", i, f)
+				}
+			}
+			if _, err := l.Coord.Recv(); !errors.Is(err, io.EOF) {
+				t.Fatalf("after close: %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// Both directions of a link must work concurrently (round 1's
+// sample-up / broadcast-down overlap).
+func TestTransportBidirectional(t *testing.T) {
+	for name, tr := range transports() {
+		t.Run(name, func(t *testing.T) {
+			links, _ := tr.Links(1)
+			l := links[0]
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				l.Machine.Send([]byte("up"))
+				if f, err := l.Machine.Recv(); err != nil || string(f) != "down" {
+					t.Errorf("machine recv: %q %v", f, err)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				if f, err := l.Coord.Recv(); err != nil || string(f) != "up" {
+					t.Errorf("coord recv: %q %v", f, err)
+				}
+				l.Coord.Send([]byte("down"))
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// Sending to a peer that already closed must return an error, not panic
+// or hang — the abort path relies on it.
+func TestTransportSendAfterPeerClose(t *testing.T) {
+	for name, tr := range transports() {
+		t.Run(name, func(t *testing.T) {
+			links, _ := tr.Links(1)
+			l := links[0]
+			l.Coord.Close()
+			var err error
+			for i := 0; i < 200 && err == nil; i++ {
+				err = l.Machine.Send(make([]byte, 1024))
+			}
+			if err == nil {
+				t.Fatal("send to closed peer never errored")
+			}
+		})
+	}
+}
+
+// Double Close must be safe (driver and machine both close defensively).
+func TestTransportDoubleClose(t *testing.T) {
+	for name, tr := range transports() {
+		t.Run(name, func(t *testing.T) {
+			links, _ := tr.Links(1)
+			links[0].Coord.Close()
+			links[0].Coord.Close()
+			links[0].Machine.Close()
+			links[0].Machine.Close()
+		})
+	}
+}

@@ -1,0 +1,362 @@
+package dist
+
+// Wire codec for the coordinator protocol. Every message crossing a Link
+// is one framed byte string; Report.Bits is the measured length of these
+// frames, replacing the closed-form pointBits/cellBits accounting (which
+// Report.FormulaBits still carries for comparison).
+//
+// Frame layout: a one-byte type tag followed by a type-specific payload.
+// All integers are LEB128 varints; signed values are zigzag-folded
+// (internal/streamfmt). Cell indices and points are sorted
+// lexicographically and delta-encoded coordinate-wise against the
+// previous vector, so dense level summaries cost ~1 byte per coordinate
+// instead of the log₂(2Δ)-bit fixed width of the formula accounting.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"streambalance/internal/geo"
+	"streambalance/internal/streamfmt"
+)
+
+// Frame type tags.
+const (
+	frameSample    byte = 1 // machine → coordinator, round 1 up
+	frameBroadcast byte = 2 // coordinator → machine, round 1 down
+	frameCellsH    byte = 3 // machine → coordinator, round 2: h cell counts
+	frameCellsHP   byte = 4 // machine → coordinator, round 2: h′ cell counts
+	frameHat       byte = 5 // machine → coordinator, round 2: ĥ point payload
+)
+
+var errTruncated = errors.New("dist: truncated or malformed frame")
+
+// wireCell is one non-empty cell in a round-2 count message: its level-i
+// index vector and the machine's local (integer) point count.
+type wireCell struct {
+	Idx   []int64
+	Count int64
+}
+
+// wirePoint is one distinct sampled point with its local multiplicity.
+type wirePoint struct {
+	P    geo.Point
+	Mult int64
+}
+
+// sampleMsg is round 1 up: the machine's exact local size and a small
+// uniform sample for the coordinator's OPT estimate.
+type sampleMsg struct {
+	LocalN int64
+	Pts    []geo.Point
+}
+
+// broadcastMsg is round 1 down: the accepted guess o, the shared-
+// randomness seed from which every machine reconstructs the identical
+// grid shift, fingerprint and sampling hashes, and the shift itself (the
+// machine cross-checks its reconstruction against it).
+type broadcastMsg struct {
+	O     float64
+	Seed  int64
+	Shift []int64
+}
+
+// cellsMsg is one machine's per-level h or h′ summary; Fail is Lemma
+// 4.6's 1-bit FAIL (the local cell cap was exceeded).
+type cellsMsg struct {
+	Level int
+	Fail  bool
+	Cells []wireCell // sorted by Idx, unique
+}
+
+// hatMsg is one machine's per-level ĥ point payload.
+type hatMsg struct {
+	Level int
+	Fail  bool
+	Pts   []wirePoint // sorted by P, unique, Mult >= 1
+}
+
+// frameType returns the type tag of a frame (0 if empty).
+func frameType(frame []byte) byte {
+	if len(frame) == 0 {
+		return 0
+	}
+	return frame[0]
+}
+
+// reader is a cursor over a frame payload that latches the first error.
+type reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) uvarint() uint64 {
+	v, n := streamfmt.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) deltaVec(prev []int64) {
+	n, ok := streamfmt.DeltaVec(r.b[r.off:], prev)
+	if !ok {
+		r.bad = true
+		return
+	}
+	r.off += n
+}
+
+func (r *reader) fixed64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(r.b[r.off+i]) << (8 * i)
+	}
+	r.off += 8
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.off >= len(r.b) {
+		r.bad = true
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) done() error {
+	if r.bad {
+		return errTruncated
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("dist: %d trailing bytes in frame", len(r.b)-r.off)
+	}
+	return nil
+}
+
+func appendFixed64(dst []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+// sortPoints orders a point multiset lexicographically in place — the
+// canonical frame order the delta coder needs.
+func sortPoints(pts []geo.Point) {
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+}
+
+func lessVec(a, b []int64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
+}
+
+// encodeSample frames a round-1 sample message, sorting Pts in place.
+func encodeSample(m sampleMsg) []byte {
+	sortPoints(m.Pts)
+	dim := 0
+	if len(m.Pts) > 0 {
+		dim = len(m.Pts[0])
+	}
+	dst := append(make([]byte, 0, 8+len(m.Pts)*(dim+1)), frameSample)
+	dst = streamfmt.AppendUvarint(dst, uint64(m.LocalN))
+	dst = streamfmt.AppendUvarint(dst, uint64(len(m.Pts)))
+	prev := make([]int64, dim)
+	for _, p := range m.Pts {
+		dst = streamfmt.AppendDeltaVec(dst, prev, p)
+	}
+	return dst
+}
+
+func decodeSample(frame []byte, dim int) (sampleMsg, error) {
+	if frameType(frame) != frameSample {
+		return sampleMsg{}, fmt.Errorf("dist: expected sample frame, got type %d", frameType(frame))
+	}
+	r := &reader{b: frame, off: 1}
+	m := sampleMsg{LocalN: int64(r.uvarint())}
+	n := r.uvarint()
+	if r.bad || m.LocalN < 0 || n > uint64(len(frame))/uint64(dim) {
+		return sampleMsg{}, errTruncated
+	}
+	prev := make([]int64, dim)
+	if n > 0 {
+		m.Pts = make([]geo.Point, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		r.deltaVec(prev)
+		if r.bad {
+			return sampleMsg{}, errTruncated
+		}
+		m.Pts = append(m.Pts, geo.Point(append([]int64(nil), prev...)))
+	}
+	if err := r.done(); err != nil {
+		return sampleMsg{}, err
+	}
+	return m, nil
+}
+
+func encodeBroadcast(m broadcastMsg) []byte {
+	dst := append(make([]byte, 0, 24+len(m.Shift)*2), frameBroadcast)
+	dst = appendFixed64(dst, math.Float64bits(m.O))
+	dst = appendFixed64(dst, uint64(m.Seed))
+	dst = streamfmt.AppendUvarint(dst, uint64(len(m.Shift)))
+	for _, v := range m.Shift {
+		dst = streamfmt.AppendZigzag(dst, v)
+	}
+	return dst
+}
+
+func decodeBroadcast(frame []byte, dim int) (broadcastMsg, error) {
+	if frameType(frame) != frameBroadcast {
+		return broadcastMsg{}, fmt.Errorf("dist: expected broadcast frame, got type %d", frameType(frame))
+	}
+	r := &reader{b: frame, off: 1}
+	m := broadcastMsg{O: math.Float64frombits(r.fixed64()), Seed: int64(r.fixed64())}
+	d := r.uvarint()
+	if r.bad || d != uint64(dim) {
+		return broadcastMsg{}, errTruncated
+	}
+	m.Shift = make([]int64, dim)
+	r.deltaVec(m.Shift) // deltas against zero = absolute zigzag values
+	if err := r.done(); err != nil {
+		return broadcastMsg{}, err
+	}
+	return m, nil
+}
+
+// encodeCells frames a round-2 count message (typ selects h vs h′),
+// sorting Cells in place.
+func encodeCells(typ byte, m cellsMsg) []byte {
+	sort.Slice(m.Cells, func(a, b int) bool { return lessVec(m.Cells[a].Idx, m.Cells[b].Idx) })
+	dim := 0
+	if len(m.Cells) > 0 {
+		dim = len(m.Cells[0].Idx)
+	}
+	dst := append(make([]byte, 0, 4+len(m.Cells)*(dim+2)), typ)
+	dst = streamfmt.AppendUvarint(dst, uint64(m.Level))
+	if m.Fail {
+		return append(dst, 1)
+	}
+	dst = append(dst, 0)
+	dst = streamfmt.AppendUvarint(dst, uint64(len(m.Cells)))
+	prev := make([]int64, dim)
+	for _, c := range m.Cells {
+		dst = streamfmt.AppendDeltaVec(dst, prev, c.Idx)
+		dst = streamfmt.AppendUvarint(dst, uint64(c.Count))
+	}
+	return dst
+}
+
+func decodeCells(frame []byte, dim, maxLevel int) (cellsMsg, error) {
+	if t := frameType(frame); t != frameCellsH && t != frameCellsHP {
+		return cellsMsg{}, fmt.Errorf("dist: expected cells frame, got type %d", t)
+	}
+	r := &reader{b: frame, off: 1}
+	m := cellsMsg{Level: int(r.uvarint())}
+	if r.bad || m.Level > maxLevel {
+		return cellsMsg{}, errTruncated
+	}
+	if r.byte() != 0 {
+		m.Fail = true
+		if err := r.done(); err != nil {
+			return cellsMsg{}, err
+		}
+		return m, nil
+	}
+	n := r.uvarint()
+	if r.bad || n > uint64(len(frame))/uint64(dim+1) {
+		return cellsMsg{}, errTruncated
+	}
+	prev := make([]int64, dim)
+	if n > 0 {
+		m.Cells = make([]wireCell, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		r.deltaVec(prev)
+		count := r.uvarint()
+		if r.bad || count < 1 {
+			return cellsMsg{}, errTruncated
+		}
+		m.Cells = append(m.Cells, wireCell{Idx: append([]int64(nil), prev...), Count: int64(count)})
+	}
+	if err := r.done(); err != nil {
+		return cellsMsg{}, err
+	}
+	return m, nil
+}
+
+// encodeHat frames a round-2 ĥ point payload, sorting Pts in place.
+func encodeHat(m hatMsg) []byte {
+	sort.Slice(m.Pts, func(a, b int) bool { return m.Pts[a].P.Less(m.Pts[b].P) })
+	dim := 0
+	if len(m.Pts) > 0 {
+		dim = len(m.Pts[0].P)
+	}
+	dst := append(make([]byte, 0, 4+len(m.Pts)*(dim+2)), frameHat)
+	dst = streamfmt.AppendUvarint(dst, uint64(m.Level))
+	if m.Fail {
+		return append(dst, 1)
+	}
+	dst = append(dst, 0)
+	dst = streamfmt.AppendUvarint(dst, uint64(len(m.Pts)))
+	prev := make([]int64, dim)
+	for _, p := range m.Pts {
+		dst = streamfmt.AppendDeltaVec(dst, prev, p.P)
+		dst = streamfmt.AppendUvarint(dst, uint64(p.Mult))
+	}
+	return dst
+}
+
+func decodeHat(frame []byte, dim, maxLevel int) (hatMsg, error) {
+	if frameType(frame) != frameHat {
+		return hatMsg{}, fmt.Errorf("dist: expected hat frame, got type %d", frameType(frame))
+	}
+	r := &reader{b: frame, off: 1}
+	m := hatMsg{Level: int(r.uvarint())}
+	if r.bad || m.Level > maxLevel {
+		return hatMsg{}, errTruncated
+	}
+	if r.byte() != 0 {
+		m.Fail = true
+		if err := r.done(); err != nil {
+			return hatMsg{}, err
+		}
+		return m, nil
+	}
+	n := r.uvarint()
+	if r.bad || n > uint64(len(frame))/uint64(dim+1) {
+		return hatMsg{}, errTruncated
+	}
+	prev := make([]int64, dim)
+	if n > 0 {
+		m.Pts = make([]wirePoint, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		r.deltaVec(prev)
+		mult := r.uvarint()
+		if r.bad || mult < 1 {
+			return hatMsg{}, errTruncated
+		}
+		m.Pts = append(m.Pts, wirePoint{P: geo.Point(append([]int64(nil), prev...)), Mult: int64(mult)})
+	}
+	if err := r.done(); err != nil {
+		return hatMsg{}, err
+	}
+	return m, nil
+}

@@ -78,7 +78,12 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 			Params: coreset.Params{K: k, Seed: c.Seed + 9},
 		})
 		if err != nil {
-			panic(err)
+			// A selector can hand back an unusable guess (e.g. NaN/0 on a
+			// degenerate sample); report it as a FAIL row, don't kill the
+			// whole worker pool.
+			outs[ri] = e12Row{[6]string{row.name, metrics.F(row.o), fmt.Sprintf("%.2f", row.o/offline),
+				"FAIL", "-", "-"}}
+			return
 		}
 		for _, p := range ps {
 			s.Insert(p)

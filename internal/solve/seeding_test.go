@@ -1,0 +1,135 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+// seedKMeansPPRef is the pre-optimization quadratic implementation,
+// kept verbatim as the reference the incremental O(nk) version is
+// pinned against: identical rng call sequence, identical float values,
+// identical centers.
+func seedKMeansPPRef(rng *rand.Rand, ws []geo.Weighted, k int, r float64) []geo.Point {
+	if len(ws) == 0 || k < 1 {
+		panic("solve: empty input or k < 1")
+	}
+	centers := make([]geo.Point, 0, k)
+	tot := geo.TotalWeight(ws)
+	target := rng.Float64() * tot
+	acc := 0.0
+	for _, w := range ws {
+		acc += w.W
+		if acc >= target {
+			centers = append(centers, w.P)
+			break
+		}
+	}
+	if len(centers) == 0 {
+		centers = append(centers, ws[len(ws)-1].P)
+	}
+	d2 := make([]float64, len(ws))
+	for len(centers) < k {
+		sum := 0.0
+		for i, w := range ws {
+			dd, _ := geo.DistToSet(w.P, centers)
+			d2[i] = w.W * geo.PowR(dd, r)
+			sum += d2[i]
+		}
+		if sum == 0 {
+			centers = append(centers, ws[rng.Intn(len(ws))].P)
+			continue
+		}
+		target := rng.Float64() * sum
+		acc := 0.0
+		idx := len(ws) - 1
+		for i := range ws {
+			acc += d2[i]
+			if acc >= target {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, ws[idx].P)
+	}
+	return centers
+}
+
+func randWeighted(rng *rand.Rand, n, dim int, delta int64) []geo.Weighted {
+	ws := make([]geo.Weighted, n)
+	for i := range ws {
+		p := make(geo.Point, dim)
+		for j := range p {
+			p[j] = rng.Int63n(delta)
+		}
+		ws[i] = geo.Weighted{P: p, W: 1 + rng.Float64()*5}
+	}
+	return ws
+}
+
+func TestSeedKMeansPPMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 50 + rng.Intn(400)
+		k := 1 + rng.Intn(12)
+		r := []float64{1, 2, 3}[rng.Intn(3)]
+		ws := randWeighted(rng, n, 2+rng.Intn(3), 1<<10)
+
+		got := SeedKMeansPP(rand.New(rand.NewSource(seed)), ws, k, r)
+		want := seedKMeansPPRef(rand.New(rand.NewSource(seed)), ws, k, r)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d centers vs %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("seed %d: center %d is %v, reference %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Duplicate-heavy inputs drive the sum == 0 branch (all mass on chosen
+// centers), which must also consume the rng identically.
+func TestSeedKMeansPPMatchesReferenceOnDuplicates(t *testing.T) {
+	base := geo.Point{7, 7}
+	ws := make([]geo.Weighted, 40)
+	for i := range ws {
+		ws[i] = geo.Weighted{P: base, W: 2}
+	}
+	ws = append(ws, geo.Weighted{P: geo.Point{1, 1}, W: 1})
+	for seed := int64(0); seed < 10; seed++ {
+		got := SeedKMeansPP(rand.New(rand.NewSource(seed)), ws, 6, 2)
+		want := seedKMeansPPRef(rand.New(rand.NewSource(seed)), ws, 6, 2)
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("seed %d: center %d is %v, reference %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// EstimateOPT layers Lloyd on the seeding; its output must be untouched
+// by the seeding optimization.
+func TestEstimateOPTMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		ws := randWeighted(rng, 300, 2, 1<<10)
+		got := EstimateOPT(rand.New(rand.NewSource(seed)), ws, 4, 2, 1<<10, 3)
+
+		refRng := rand.New(rand.NewSource(seed))
+		want := func() float64 {
+			best := -1.0
+			for t := 0; t < 3; t++ {
+				sol := Lloyd(ws, seedKMeansPPRef(refRng, ws, 4, 2), 2, 1<<10, 10)
+				if best < 0 || sol.Cost < best {
+					best = sol.Cost
+				}
+			}
+			return best
+		}()
+		if got != want {
+			t.Fatalf("seed %d: EstimateOPT %v, reference %v", seed, got, want)
+		}
+	}
+}

@@ -61,12 +61,29 @@ func SeedKMeansPP(rng *rand.Rand, ws []geo.Weighted, k int, r float64) []geo.Poi
 	if len(centers) == 0 {
 		centers = append(centers, ws[len(ws)-1].P)
 	}
+	// minSq[i] caches the squared distance from ws[i] to its nearest
+	// chosen center; each round folds in only the centers appended since
+	// the previous round, so seeding is O(nk) total instead of O(nk²).
+	// √min(minSq) equals DistToSet's √ of the running min, so the sampled
+	// centers are bit-identical to the quadratic version.
+	minSq := make([]float64, len(ws))
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+	applied := 0
 	d2 := make([]float64, len(ws))
 	for len(centers) < k {
+		for ; applied < len(centers); applied++ {
+			c := centers[applied]
+			for i, w := range ws {
+				if sq := geo.DistSq(w.P, c); sq < minSq[i] {
+					minSq[i] = sq
+				}
+			}
+		}
 		sum := 0.0
 		for i, w := range ws {
-			dd, _ := geo.DistToSet(w.P, centers)
-			d2[i] = w.W * geo.PowR(dd, r)
+			d2[i] = w.W * geo.PowR(math.Sqrt(minSq[i]), r)
 			sum += d2[i]
 		}
 		if sum == 0 {

@@ -96,7 +96,13 @@ func NewAutoStream(cfg StreamConfig, oFactor float64) (*AutoStream, error) {
 }
 
 // DistributedCoreset runs the coordinator protocol of Theorem 4.7 over
-// the machines' local point sets.
+// the machines' local point sets, using the concurrent pipelined driver
+// (every machine in its own goroutine, bounded by cfg.Workers; framed
+// wire messages over cfg.Transport, in-memory channels by default). The
+// report's Bits is the measured length of the encoded frames;
+// FormulaBits carries the closed-form accounting for comparison. The
+// result is bit-identical at any worker count and on any transport
+// (DESIGN.md §8).
 func DistributedCoreset(machines [][]Point, cfg DistConfig) (*DistReport, error) {
 	ms := make([]geo.PointSet, len(machines))
 	for i, m := range machines {
