@@ -1,4 +1,4 @@
-.PHONY: check check-assign check-dist test bench vet
+.PHONY: check check-assign check-dist check-obs test bench vet
 
 # Full correctness gate: vet, build everything, then the whole test
 # suite under the race detector — the batched-ingest, parallel-extraction
@@ -25,6 +25,17 @@ check-dist:
 	go vet ./internal/dist ./internal/streamfmt ./internal/solve
 	go test -short -race ./internal/dist ./internal/streamfmt
 	go test -short -race -run 'SeedKMeansPP|EstimateOPT' ./internal/solve
+
+# Fast telemetry pass: vet the obs package, run its concurrency tests
+# under -race, then gate the disabled-path overhead without -race (race
+# instrumentation inflates atomic loads by design, so the ns/op budget
+# only means something in a plain build; see bench_test.go). CI runs it
+# before the full suite so a hot-path telemetry regression fails fast.
+check-obs:
+	go vet ./internal/obs
+	go test -race ./internal/obs
+	go test -run DisabledOverheadBudget ./internal/obs
+	go test -run xxx -bench 'Disabled' -benchtime 100000x ./internal/obs
 
 test:
 	go build ./... && go test ./...

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -36,9 +37,39 @@ import (
 	"streambalance/internal/experiments"
 	"streambalance/internal/geo"
 	"streambalance/internal/metrics"
+	"streambalance/internal/obs"
 	"streambalance/internal/solve"
 	"streambalance/internal/workload"
 )
+
+// runMeta identifies the run that produced a BENCH_*.json: without the
+// machine and revision a throughput number cannot be compared against a
+// past one. The git revision comes from the binary's embedded build info
+// (present when built inside a work tree with VCS stamping; "unknown"
+// under -buildvcs=false or `go run` from a tarball).
+func runMeta() map[string]any {
+	rev, dirty := "unknown", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	return map[string]any{
+		"git_revision": rev,
+		"git_dirty":    dirty,
+		"go_version":   runtime.Version(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"num_cpu":      runtime.NumCPU(),
+		"goos":         runtime.GOOS,
+		"goarch":       runtime.GOARCH,
+		"timestamp":    time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 // benchIngest measures ingest ops/sec of the guess-enumeration ensemble
 // through the batched pipeline and the serial per-op path, prints a short
@@ -87,6 +118,7 @@ func benchIngest(scale float64, seed int64) error {
 	batchedSec := float64(n) / time.Since(t0).Seconds()
 
 	rec := map[string]any{
+		"meta":                runMeta(),
 		"bench":               "stream_ingest",
 		"n_ops":               n,
 		"guesses":             len(serial.Guesses()),
@@ -187,6 +219,7 @@ func benchExtract(scale float64, seed int64) error {
 	warmSec := rounds / elapsed[2].Seconds()
 
 	rec := map[string]any{
+		"meta":                     runMeta(),
 		"bench":                    "stream_extract",
 		"n_points":                 n,
 		"guesses":                  len(a.Guesses()),
@@ -302,6 +335,7 @@ func benchAssign(scale float64, seed int64) error {
 	warmSec := float64(rounds*solves) / elapsed[2].Seconds()
 
 	rec := map[string]any{
+		"meta":                  runMeta(),
 		"bench":                 "assign_sweep",
 		"n_points":              n,
 		"k":                     k,
@@ -400,6 +434,7 @@ func benchDist(scale float64, seed int64) error {
 	}
 
 	rec := map[string]any{
+		"meta":              runMeta(),
 		"bench":             "dist_protocol",
 		"n_points":          n,
 		"machines":          s,
@@ -438,7 +473,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
 	bench := flag.Bool("bench", false, "measure ingest and extraction throughput, writing BENCH_ingest.json and BENCH_extract.json")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060) while running")
+	metricsDump := flag.String("metrics", "", "dump a final telemetry snapshot to stderr: text (Prometheus exposition) or json")
 	flag.Parse()
+
+	switch *metricsDump {
+	case "", "text", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "-metrics must be text or json, got %q\n", *metricsDump)
+		os.Exit(2)
+	}
+	if *metricsDump != "" {
+		obs.Enable()
+		obs.Trace.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bcbench: debug server on http://%s (/metrics, /debug/pprof/, /debug/vars, /debug/spans)\n", addr)
+	}
+	dumpMetrics := func() {
+		var err error
+		switch *metricsDump {
+		case "text":
+			err = obs.Default.WriteProm(os.Stderr)
+		case "json":
+			err = obs.Default.WriteJSON(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if *bench {
 		if err := benchIngest(*scale, *seed); err != nil {
@@ -457,6 +526,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dumpMetrics()
 		return
 	}
 
@@ -499,4 +569,5 @@ func main() {
 		tb.Render(os.Stdout)
 		fmt.Printf("   [%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
+	dumpMetrics()
 }

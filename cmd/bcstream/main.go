@@ -7,6 +7,10 @@
 // ensemble per guess o); pass -guess to run a single-guess instance when
 // an estimate of the optimal clustering cost is known.
 //
+// Telemetry (README "Observability"): -debug-addr serves /metrics,
+// /debug/pprof/ and /debug/vars while the stream runs; -metrics dumps a
+// final counter snapshot to stderr after the coreset is written.
+//
 // Usage:
 //
 //	bcgen -n 10000 -pattern churn | bcstream -k 4 -delta 4096
@@ -16,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"streambalance"
+	"streambalance/internal/obs"
 	"streambalance/internal/streamfmt"
 )
 
@@ -29,7 +35,27 @@ func main() {
 	guess := flag.Float64("guess", 0, "fixed guess o of the optimal cost (0 = enumerate all guesses)")
 	seed := flag.Int64("seed", 1, "random seed")
 	in := flag.String("in", "-", "input stream file (- = stdin)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060) while running")
+	metricsDump := flag.String("metrics", "", "dump a final telemetry snapshot to stderr: text (Prometheus exposition) or json")
+	hold := flag.Duration("hold", 0, "with -debug-addr, keep the debug server up this long after the run (0 = exit immediately)")
 	flag.Parse()
+
+	switch *metricsDump {
+	case "", "text", "json":
+	default:
+		fatal(fmt.Errorf("-metrics must be text or json, got %q", *metricsDump))
+	}
+	if *metricsDump != "" {
+		obs.Enable()
+		obs.Trace.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bcstream: debug server on http://%s (/metrics, /debug/pprof/, /debug/vars, /debug/spans)\n", addr)
+	}
 
 	var src *os.File
 	if *in == "-" {
@@ -90,6 +116,21 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"bcstream: %d updates, coreset %d points (total weight %.1f), sketch state %d bytes, accepted o=%.3g\n",
 		updates, cs.Size(), cs.TotalWeight(), s.Bytes(), cs.O)
+
+	switch *metricsDump {
+	case "text":
+		if err := obs.Default.WriteProm(os.Stderr); err != nil {
+			fatal(err)
+		}
+	case "json":
+		if err := obs.Default.WriteJSON(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *debugAddr != "" && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "bcstream: holding debug server for %s\n", *hold)
+		time.Sleep(*hold)
+	}
 }
 
 func fatal(err error) {

@@ -5,6 +5,19 @@ import (
 
 	"streambalance/internal/flow"
 	"streambalance/internal/geo"
+	"streambalance/internal/obs"
+)
+
+// Telemetry handles (internal/obs). The warm/cold split is the
+// headline number: warm ÷ (warm + cold) is the warm-restart reuse
+// ratio of a capacity sweep, and E1's speedup tracks it directly.
+var (
+	mSolves     = obs.C("assign_solves_total")
+	mWarmSolves = obs.C("assign_warm_solves_total")
+	mColdSolves = obs.C("assign_cold_solves_total")
+	mCenterSets = obs.C("assign_center_sets_total")
+	mSkeletons  = obs.C("assign_skeleton_builds_total")
+	mSolveNS    = obs.H("assign_solve_ns")
 )
 
 // Solver is a reusable capacitated-assignment engine for the
@@ -97,6 +110,7 @@ func (s *Solver) SetCenters(Z []geo.Point) {
 	if s.ws == nil && s.ps == nil {
 		panic("assign: SetCenters before Bind")
 	}
+	mCenterSets.Inc()
 	if len(Z) != s.k {
 		s.skeleton = false
 	}
@@ -152,6 +166,7 @@ func (s *Solver) buildSkeleton() {
 		s.sinkID[j] = s.g.AddEdge(n+1+j, s.sink, 0, 0)
 	}
 	s.skeleton = true
+	mSkeletons.Inc()
 }
 
 // Fractional computes the optimal fractional capacitated assignment
@@ -174,12 +189,16 @@ func (s *Solver) Fractional(t float64) (float64, bool) {
 	if t*float64(s.k) < s.total-1e-9 {
 		return math.Inf(1), false
 	}
+	mSolves.Inc()
+	t0 := obs.NowNano()
+	defer mSolveNS.ObserveSince(t0)
 	if !s.warmOff && s.canWarm && t >= s.lastT {
 		for _, id := range s.sinkID {
 			s.g.SetCap(id, t)
 		}
 		if _, ok := s.fs.ReoptimizeGrownCaps(s.g, s.sink, s.sinkID); ok {
 			s.lastT = t
+			mWarmSolves.Inc()
 			return s.g.CostOfFlows(), true
 		}
 		// Round budget exhausted (numerical dust): fall through cold.
@@ -188,6 +207,7 @@ func (s *Solver) Fractional(t float64) (float64, bool) {
 		s.g.SetCap(id, t)
 	}
 	s.g.ClearFlows()
+	mColdSolves.Inc()
 	f, cost := s.fs.MinCostFlow(s.g, s.src, s.sink, s.total)
 	if f < s.total-1e-6*math.Max(1, s.total) {
 		s.canWarm = false
@@ -221,6 +241,10 @@ func (s *Solver) Optimal(t float64) (Result, bool) {
 	if capPer*float64(k) < float64(n) {
 		return Infeasible, false
 	}
+	mSolves.Inc()
+	mColdSolves.Inc()
+	t0 := obs.NowNano()
+	defer mSolveNS.ObserveSince(t0)
 	for _, id := range s.sinkID {
 		s.g.SetCap(id, capPer)
 	}

@@ -44,8 +44,35 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
 	"streambalance/internal/partition"
 	"streambalance/internal/solve"
+)
+
+// Telemetry (DESIGN.md §9). The wire counters mirror Report.Bits /
+// Report.FormulaBits cumulatively across runs, so a live scrape of
+// /metrics cross-checks the E5 table without re-running it; FAIL
+// frames (Lemma 4.6's per-machine caps) are queryable per kind.
+var (
+	mRuns        = obs.C("dist_runs_total")
+	mFrames      = obs.C("dist_frames_total")
+	mWireBits    = obs.C("dist_wire_bits_total")
+	mFormulaBits = obs.C("dist_formula_bits_total")
+	mFailCells   = obs.C("dist_fail_cells_total")
+	mFailPoints  = obs.C("dist_fail_points_total")
+
+	// Per-phase wire bits; the phase set is the protocol's, fixed.
+	mPhaseBits = map[string]*obs.Counter{
+		"round1-sample":    obs.C(`dist_wire_bits_total{phase="round1-sample"}`),
+		"round1-broadcast": obs.C(`dist_wire_bits_total{phase="round1-broadcast"}`),
+		"round2-h":         obs.C(`dist_wire_bits_total{phase="round2-h"}`),
+		"round2-hp":        obs.C(`dist_wire_bits_total{phase="round2-hp"}`),
+		"round2-hat":       obs.C(`dist_wire_bits_total{phase="round2-hat"}`),
+	}
+
+	mRound1NS  = obs.H(`dist_round_ns{round="1"}`)
+	mRound2NS  = obs.H(`dist_round_ns{round="2"}`)
+	mComputeNS = obs.H("dist_machine_compute_ns")
 )
 
 // Config configures the distributed protocol.
@@ -337,6 +364,8 @@ type coordinator struct {
 	env     *shared
 	root    map[uint64]partition.CellTau
 
+	failFrames int64 // round-2 FAIL frames seen (span attribute)
+
 	hAgg   []*levelAgg // levels 0..L-1
 	hpAgg  []*levelAgg // levels 0..L
 	hatAgg []*hatAgg   // levels 0..L
@@ -356,11 +385,15 @@ func (co *coordinator) chargeLocked(phase string, frameBytes int) {
 	bits := int64(frameBytes) * 8
 	co.rep.ByPhase[phase] += bits
 	co.rep.Bits += bits
+	mFrames.Inc()
+	mWireBits.Add(bits)
+	mPhaseBits[phase].Add(bits)
 }
 
 func (co *coordinator) formulaLocked(phase string, bits int64) {
 	co.rep.FormulaByPhase[phase] += bits
 	co.rep.FormulaBits += bits
+	mFormulaBits.Add(bits)
 }
 
 // abort records the first protocol error and wakes every waiter.
@@ -496,6 +529,8 @@ func (co *coordinator) addCells(aggs []*levelAgg, phase string, m cellsMsg, fram
 	if m.Fail {
 		co.formulaLocked(phase, 1)
 		agg.failed = true
+		co.failFrames++
+		mFailCells.Inc()
 	} else {
 		co.formulaLocked(phase, int64(len(m.Cells))*cellBits(co.cfg.Dim, co.cfg.Delta)+1)
 		for _, c := range m.Cells {
@@ -524,6 +559,8 @@ func (co *coordinator) addHat(j int, m hatMsg, frameBytes int) error {
 	co.chargeLocked("round2-hat", frameBytes)
 	if m.Fail {
 		co.formulaLocked("round2-hat", 1)
+		co.failFrames++
+		mFailPoints.Inc()
 		if !agg.failed {
 			agg.failed = true
 			agg.failedMachine = j

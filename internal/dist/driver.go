@@ -19,7 +19,25 @@ import (
 	"sync"
 
 	"streambalance/internal/geo"
+	"streambalance/internal/obs"
 )
+
+// finishSpan stamps the run span with the coordinator's final wire
+// accounting and FAIL count. Called after every worker goroutine has
+// been joined, but reads under the mutex anyway — it is not a hot path.
+func (co *coordinator) finishSpan(sp *obs.Span) {
+	if !sp.Active() {
+		return
+	}
+	co.mu.Lock()
+	bits, formula, fails, o := co.rep.Bits, co.rep.FormulaBits, co.failFrames, co.o
+	co.mu.Unlock()
+	sp.AttrFloat("o", o)
+	sp.AttrInt("wire_bits", bits)
+	sp.AttrInt("formula_bits", formula)
+	sp.AttrInt("fail_frames", fails)
+	sp.End()
+}
 
 func validate(machines []geo.PointSet, cfg Config) (Config, error) {
 	cfg, err := cfg.withDefaults()
@@ -55,6 +73,13 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 		workers = s
 	}
 	sem := make(chan struct{}, workers)
+
+	mRuns.Inc()
+	sp := obs.StartSpan("dist.run")
+	sp.AttrInt("machines", int64(s))
+	sp.AttrInt("workers", int64(workers))
+	defer co.finishSpan(&sp)
+	tRound1 := obs.NowNano()
 
 	var mwg sync.WaitGroup
 	for j := range machines {
@@ -95,6 +120,8 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 	if err != nil {
 		return fail(err)
 	}
+	mRound1NS.ObserveSince(tRound1)
+	tRound2 := obs.NowNano()
 
 	// Round 1 down + round 2 up: per-link readers merge frames as they
 	// arrive, waking any count source blocked on the level they complete.
@@ -118,6 +145,7 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 
 	r2wg.Wait()
 	mwg.Wait()
+	mRound2NS.ObserveSince(tRound2)
 	for _, l := range links {
 		l.Coord.Close()
 	}
@@ -167,7 +195,9 @@ func runMachine(c Conn, j int, pts geo.PointSet, cfg Config, sem chan struct{}) 
 	defer c.Close()
 
 	sem <- struct{}{}
+	t0 := obs.NowNano()
 	frame := encodeSample(machineSample(j, pts, cfg))
+	mComputeNS.ObserveSince(t0)
 	<-sem
 	if c.Send(frame) != nil {
 		return
@@ -184,6 +214,8 @@ func runMachine(c Conn, j int, pts geo.PointSet, cfg Config, sem chan struct{}) 
 
 	sem <- struct{}{}
 	defer func() { <-sem }()
+	t1 := obs.NowNano()
+	defer func() { mComputeNS.ObserveSince(t1) }()
 	env := newShared(cfg, bc.O, bc.Seed)
 	if !shiftEqual(env.g.Shift, bc.Shift) {
 		return // shared-randomness reconstruction mismatch
@@ -215,6 +247,11 @@ func RunSerial(machines []geo.PointSet, cfg Config) (*Report, error) {
 	}
 	s := len(machines)
 	co := newCoordinator(cfg, s)
+
+	mRuns.Inc()
+	sp := obs.StartSpan("dist.run_serial")
+	sp.AttrInt("machines", int64(s))
+	defer co.finishSpan(&sp)
 
 	for j, m := range machines {
 		co.addSample(j, encodeSample(machineSample(j, m, cfg)))

@@ -9,6 +9,7 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/metrics"
+	"streambalance/internal/obs"
 	"streambalance/internal/stream"
 )
 
@@ -26,6 +27,7 @@ import (
 // nothing until o approaches OPT from below, and why the cell-count
 // bound is used only as a pruning cap.
 func E12GuessSelection(c Cfg) *metrics.Table {
+	sp := obs.StartSpan("exp.E12")
 	c = c.withDefaults()
 	const k, delta = 3, int64(1 << 10)
 	n := c.n(4000)
@@ -100,8 +102,18 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 			fmt.Sprintf("%.3f", cs.TotalWeight()/float64(n)),
 			fmt.Sprintf("%.3f", core/fullCost)}}
 	})
+	sp.AttrInt("rows", int64(len(outs)))
+	var fails int64
 	for _, row := range outs {
+		if row.cells[3] == "FAIL" {
+			fails++
+		}
 		tb.Add(row.cells[:]...)
 	}
+	if fails > 0 {
+		obs.C(`exp_fail_rows_total{exp="E12"}`).Add(fails)
+	}
+	sp.AttrInt("fail_rows", fails)
+	sp.End()
 	return tb
 }

@@ -9,6 +9,7 @@ import (
 	"streambalance/internal/dist"
 	"streambalance/internal/geo"
 	"streambalance/internal/metrics"
+	"streambalance/internal/obs"
 )
 
 // E5Distributed validates Theorem 4.7: the coordinator protocol leaves a
@@ -17,6 +18,7 @@ import (
 // data and reports measured bits (total and per point) and the coreset's
 // quality.
 func E5Distributed(c Cfg) *metrics.Table {
+	sp := obs.StartSpan("exp.E5")
 	c = c.withDefaults()
 	const k, delta = 3, int64(1 << 10)
 	n := c.n(4000)
@@ -56,8 +58,18 @@ func E5Distributed(c Cfg) *metrics.Table {
 			metrics.F(float64(rep.Bits) / float64(n)), metrics.I(int64(rep.Rounds)),
 			metrics.I(int64(rep.Coreset.Size())), fmt.Sprintf("%.3f", core/fullCost)}}
 	})
+	sp.AttrInt("rows", int64(len(outs)))
+	var fails int64
 	for _, row := range outs {
+		if row.cells[1] == "FAIL" {
+			fails++
+		}
 		tb.Add(row.cells[:]...)
 	}
+	if fails > 0 {
+		obs.C(`exp_fail_rows_total{exp="E5"}`).Add(fails)
+	}
+	sp.AttrInt("fail_rows", fails)
+	sp.End()
 	return tb
 }

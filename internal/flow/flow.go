@@ -28,6 +28,20 @@ package flow
 import (
 	"fmt"
 	"math"
+
+	"streambalance/internal/obs"
+)
+
+// Telemetry handles (internal/obs). Pivot and round counts are
+// accumulated locally inside each solve and published with one atomic
+// Add at the end, so the augmentation loop itself stays untouched.
+var (
+	mFlowSolves  = obs.C("flow_solves_total")
+	mFlowPivots  = obs.C("flow_pivots_total")
+	mFlowReopts  = obs.C("flow_reopt_total")
+	mFlowRounds  = obs.C("flow_cancel_rounds_total")
+	mFlowExhaust = obs.C("flow_reopt_exhausted_total")
+	mFlowSolveNS = obs.H("flow_solve_ns")
 )
 
 // Eps is the residual-capacity tolerance: arcs with residual below Eps are
@@ -289,6 +303,7 @@ func (s *Solver) MinCostFlow(g *Graph, src, t int, maxFlow float64) (flow, cost 
 	if src == t {
 		return 0, 0
 	}
+	t0 := obs.NowNano()
 	s.grow(g.n)
 	pot, dist, visited := s.pot, s.dist, s.visited
 	prevNode, prevEdge := s.prevNode, s.prevEdge
@@ -297,6 +312,7 @@ func (s *Solver) MinCostFlow(g *Graph, src, t int, maxFlow float64) (flow, cost 
 	}
 	q := s.q
 
+	var pivots int64
 	for flow < maxFlow-Eps || maxFlow == math.Inf(1) {
 		// Dijkstra on reduced costs.
 		for i := range dist {
@@ -356,8 +372,12 @@ func (s *Solver) MinCostFlow(g *Graph, src, t int, maxFlow float64) (flow, cost 
 			cost += push * e.cost
 		}
 		flow += push
+		pivots++
 	}
 	s.q = q[:0]
+	mFlowSolves.Inc()
+	mFlowPivots.Add(pivots)
+	mFlowSolveNS.ObserveSince(t0)
 	return flow, cost
 }
 
@@ -385,8 +405,17 @@ func (s *Solver) ReoptimizeGrownCaps(g *Graph, sink int, grownIDs []int) (costDe
 	q := s.q
 	defer func() { s.q = q[:0] }()
 
+	mFlowReopts.Inc()
+	var rounds int64
+	defer func() {
+		mFlowRounds.Add(rounds)
+		if !ok {
+			mFlowExhaust.Inc()
+		}
+	}()
 	maxRounds := 4*g.n + 16
 	for round := 0; round < maxRounds; round++ {
+		rounds++
 		// Dijkstra from sink on reduced costs over residual arcs,
 		// skipping arcs into sink (the relaxed arcs are the only ones
 		// that may carry negative reduced cost, and any negative cycle

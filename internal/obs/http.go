@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the Default registry in Prometheus text
+// exposition format.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WriteProm(w)
+	})
+}
+
+// SpansHandler serves the process tracer's recorded spans as text.
+func SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = Trace.WriteSpans(w)
+	})
+}
+
+// DebugMux returns the debug surface the -debug-addr CLI flags serve:
+//
+//	/metrics          Prometheus text exposition of the Default registry
+//	/debug/spans      the span flight recorder, oldest first
+//	/debug/vars       expvar JSON (includes the published snapshot)
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//
+// It registers on a private mux, so importing this package never
+// mutates http.DefaultServeMux.
+func DebugMux() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/debug/spans", SpansHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug enables telemetry (metrics and spans), binds addr and
+// serves DebugMux on it in a background goroutine. It returns the bound
+// address (useful with ":0") or an error if the listen fails. The
+// listener lives for the remaining life of the process — CLI debug
+// surface, not a managed server.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	Enable()
+	Trace.Enable()
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,190 @@
+// Package obs is the repository's zero-external-dependency telemetry
+// layer: atomic counters, gauges and fixed-bucket histograms in a named
+// Registry, plus a lightweight phase-span tracer (trace.go) and HTTP
+// exposition surfaces (http.go). The paper's headline claims are resource
+// claims — Theorem 4.5 bounds streaming space, Theorem 4.7 bounds
+// coordinator communication — and this package makes those budgets (and
+// the cache/FAIL/latency behaviour of the optimised pipelines)
+// continuously observable instead of reconstructable from experiment
+// tables. DESIGN.md §9 records the metric vocabulary.
+//
+// # Overhead contract
+//
+// Telemetry is globally disabled by default. The disabled fast path of
+// every mutating call is a nil check plus one atomic load — small enough
+// (<2 ns/op, see BenchmarkDisabledCounter) that hot loops (ingest Apply,
+// SparseRecovery decode, flow pivots) are instrumented unconditionally
+// rather than behind build tags. Instrumented code follows two rules:
+//
+//   - metric handles are looked up once (package var or struct field),
+//     never per event — Registry lookups take a mutex;
+//   - per-iteration work inside hot loops accumulates into a local and
+//     is Add'ed once per batch/solve, so even the enabled path costs one
+//     atomic per batch, not per element.
+//
+// All mutation is race-safe: counters are plain atomics, and Snapshot
+// may run concurrently with writes (it sees each metric at some moment;
+// it never tears an individual value).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global kill switch. Disabled (the default) every
+// mutating telemetry call returns after one atomic load.
+var enabled atomic.Bool
+
+// Enable turns metric collection on process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection off; existing values are retained.
+func Disable() { enabled.Store(false) }
+
+// SetEnabled sets the global collection flag.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on. Instrumentation uses
+// it to gate work beyond a counter bump (timestamping, fmt of label
+// names on rare paths).
+func Enabled() bool { return enabled.Load() }
+
+// NowNano returns a monotonic-ish nanosecond timestamp when telemetry is
+// enabled and 0 when disabled, so hot paths can write
+//
+//	t0 := obs.NowNano()
+//	... work ...
+//	hist.ObserveSince(t0)
+//
+// without paying for time.Now on the disabled path.
+func NowNano() int64 {
+	if !enabled.Load() {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter is a valid no-op target.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n when telemetry is enabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one when telemetry is enabled.
+func (c *Counter) Inc() {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset zeroes the counter (Registry.Reset).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic float64 last-value gauge. The zero value is ready
+// to use; a nil *Gauge is a valid no-op target.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v when telemetry is enabled.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value when telemetry is enabled.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) reset() { g.bits.Store(0) }
+
+// histBuckets is the bucket count of a Histogram: bucket 0 holds values
+// ≤ 0, bucket i (1 ≤ i ≤ 64) holds values v with 2^(i-1) ≤ v < 2^i —
+// log2 buckets sized for nanosecond latencies and byte/bit volumes.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log2 histogram over int64 observations.
+// The zero value is ready to use; a nil *Histogram is a valid no-op
+// target. All fields are atomics, so Observe may race with Snapshot
+// (the snapshot is per-field consistent, not cross-field).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value when telemetry is enabled.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since a NowNano
+// timestamp; t0 == 0 (telemetry was disabled at span start) is a no-op.
+func (h *Histogram) ObserveSince(t0 int64) {
+	if h == nil || t0 == 0 || !enabled.Load() {
+		return
+	}
+	h.Observe(time.Now().UnixNano() - t0)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}

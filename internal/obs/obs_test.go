@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with telemetry forced on, restoring the previous
+// state afterwards. Tests in this package must not run in parallel with
+// each other: the flag is process-global.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+	f()
+}
+
+func TestCounterParallel(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("test_parallel_total")
+		const workers, per = 8, 10000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					c.Inc()
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Load(); got != workers*per {
+			t.Fatalf("counter = %d, want %d", got, workers*per)
+		}
+	})
+}
+
+// TestSnapshotDuringWrite exercises Snapshot and WriteProm racing with
+// concurrent metric writes — the -race run is the real assertion.
+func TestSnapshotDuringWrite(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("race_total")
+		g := r.Gauge("race_gauge")
+		h := r.Histogram("race_ns")
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				c.Inc()
+				g.SetInt(i)
+				h.Observe(i)
+			}
+		}()
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			if s.Counters["race_total"] < 0 {
+				t.Fatal("negative counter in snapshot")
+			}
+			if err := r.WriteProm(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(done)
+		wg.Wait()
+	})
+}
+
+func TestDisabledMetricsStayZero(t *testing.T) {
+	prev := Enabled()
+	Disable()
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	c := r.Counter("off_total")
+	g := r.Gauge("off_gauge")
+	h := r.Histogram("off_ns")
+	c.Add(5)
+	c.Inc()
+	g.Set(3.5)
+	h.Observe(42)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled metrics mutated: c=%d g=%g h=%d", c.Load(), g.Load(), h.Count())
+	}
+	if NowNano() != 0 {
+		t.Fatal("NowNano() != 0 while disabled")
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	withEnabled(t, func() {
+		var c *Counter
+		var g *Gauge
+		var h *Histogram
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		h.Observe(1)
+		h.ObserveSince(1)
+		if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+			t.Fatal("nil metrics returned nonzero")
+		}
+	})
+}
+
+// TestWritePromGolden pins the exposition format byte for byte: sorted
+// names, counters and gauges as bare samples, histograms as cumulative
+// _bucket/_sum/_count series with power-of-two bounds.
+func TestWritePromGolden(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("zz_last_total").Add(7)
+		r.Counter(`aa_first_total{level="3"}`).Add(2)
+		r.Gauge("mid_gauge").Set(1.5)
+		h := r.Histogram("lat_ns")
+		h.Observe(0) // bucket ≤0
+		h.Observe(1) // < 2
+		h.Observe(3) // < 4
+		h.Observe(3)
+		// A label set embedded in a histogram name moves inside the
+		// exposition suffixes: _bucket merges with le, _sum/_count keep
+		// the label set after the suffix.
+		lh := r.Histogram(`round_ns{round="2"}`)
+		lh.Observe(3)
+
+		var sb strings.Builder
+		if err := r.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		want := `aa_first_total{level="3"} 2
+lat_ns_bucket{le="0"} 1
+lat_ns_bucket{le="2"} 2
+lat_ns_bucket{le="4"} 4
+lat_ns_bucket{le="+Inf"} 4
+lat_ns_sum 7
+lat_ns_count 4
+mid_gauge 1.5
+round_ns_bucket{round="2",le="0"} 0
+round_ns_bucket{round="2",le="2"} 0
+round_ns_bucket{round="2",le="4"} 1
+round_ns_bucket{round="2",le="+Inf"} 1
+round_ns_sum{round="2"} 3
+round_ns_count{round="2"} 1
+zz_last_total 7
+`
+		if got := sb.String(); got != want {
+			t.Fatalf("WriteProm output:\n%s\nwant:\n%s", got, want)
+		}
+	})
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("b_total").Add(2)
+		r.Counter("a_total").Add(1)
+		r.Gauge("g").Set(4)
+		// A populated histogram carries a +Inf bucket bound, which must
+		// round-trip as a string ("le": "+Inf") — a bare float64 +Inf is
+		// a json.Marshal error (it broke -metrics json and /debug/vars).
+		r.Histogram("h_ns").Observe(5)
+		var one, two strings.Builder
+		if err := r.WriteJSON(&one); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&two); err != nil {
+			t.Fatal(err)
+		}
+		if one.String() != two.String() {
+			t.Fatal("WriteJSON not deterministic across calls")
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(one.String()), &s); err != nil {
+			t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+		}
+		if s.Counters["a_total"] != 1 || s.Counters["b_total"] != 2 || s.Gauges["g"] != 4 {
+			t.Fatalf("round-tripped snapshot wrong: %+v", s)
+		}
+	})
+}
+
+func TestRegistryReset(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("r_total")
+		c.Add(3)
+		h := r.Histogram("r_ns")
+		h.Observe(9)
+		r.Reset()
+		if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+			t.Fatal("Reset left values behind")
+		}
+		c.Inc() // handle still live after Reset
+		if c.Load() != 1 {
+			t.Fatal("handle dead after Reset")
+		}
+	})
+}
+
+func TestDebugMuxServesMetricsAndPprof(t *testing.T) {
+	withEnabled(t, func() {
+		C("http_smoke_total").Inc()
+		addr, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := func(path string) string {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		if body := get("/metrics"); !strings.Contains(body, "http_smoke_total ") {
+			t.Fatalf("/metrics missing smoke counter:\n%s", body)
+		}
+		if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+			t.Fatal("/debug/pprof/ index missing profiles")
+		}
+		if body := get("/debug/vars"); !strings.Contains(body, "streambalance") {
+			t.Fatal("/debug/vars missing published snapshot")
+		}
+	})
+}

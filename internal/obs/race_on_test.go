@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation multiplies atomic-load cost; timing gates skip.
+const raceEnabled = true

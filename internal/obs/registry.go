@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms.
+// Metric names follow the Prometheus convention (snake_case, `_total`
+// suffix on counters, optional `{label="value"}` suffix for bounded
+// label sets such as per-level FAIL counters); the name string is the
+// identity — two lookups of the same name return the same metric.
+//
+// Lookups take a mutex and are meant for initialization paths (package
+// vars, struct fields), never per event. All read surfaces (Snapshot,
+// WriteProm, WriteJSON) emit metrics in sorted name order, so output is
+// deterministic for a given set of values and can be golden-tested.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry all package-level helpers use.
+var Default = NewRegistry()
+
+// C returns (creating if needed) the named counter of the Default
+// registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns (creating if needed) the named gauge of the Default
+// registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns (creating if needed) the named histogram of the Default
+// registry.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (the metrics stay registered and
+// previously returned handles stay valid). Tests and per-run CLI dumps
+// use it to measure deltas.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// HistBucket is one cumulative histogram bucket: Count observations had
+// value ≤ Le.
+type HistBucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON emits Le as a string: the terminal bucket's bound is
+// +Inf, which encoding/json rejects as a float64 value (this also
+// covers the expvar snapshot at /debug/vars, which marshals through
+// encoding/json).
+func (b HistBucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.Le, 1) {
+		le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *HistBucket) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	if aux.Le == "+Inf" {
+		b.Le = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(aux.Le, 64)
+		if err != nil {
+			return err
+		}
+		b.Le = v
+	}
+	b.Count = aux.Count
+	return nil
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Map keys are metric
+// names; encoding/json marshals map keys sorted, so a marshalled
+// snapshot is deterministic for given values.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value. It is safe to call
+// concurrently with writes: each individual value is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+		Hists:    make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = snapshotHist(h)
+	}
+	return s
+}
+
+// snapshotHist copies one histogram, converting the log2 buckets to
+// cumulative counts up to the highest non-empty bucket plus +Inf.
+func snapshotHist(h *Histogram) HistSnapshot {
+	hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	raw := make([]int64, histBuckets)
+	top := -1
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return hs
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += raw[i]
+		le := 0.0
+		if i > 0 {
+			le = float64(uint64(1) << uint(i)) // bucket i: values < 2^i
+		}
+		hs.Buckets = append(hs.Buckets, HistBucket{Le: le, Count: cum})
+	}
+	hs.Buckets = append(hs.Buckets, HistBucket{Le: inf, Count: hs.Count})
+	return hs
+}
+
+var inf = math.Inf(1)
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (untyped samples; histograms as cumulative _bucket/_sum/_count
+// series), metrics sorted by name. The output for a fixed set of values
+// is byte-deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := s.Gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "%s %g\n", n, v); err != nil {
+				return err
+			}
+			continue
+		}
+		h := s.Hists[n]
+		// Exposition suffixes attach to the base name, inside any label
+		// set embedded in the metric name: dist_round_ns{round="1"}
+		// exposes as dist_round_ns_sum{round="1"}, not the reverse.
+		base, labels := n, ""
+		if i := strings.IndexByte(n, '{'); i >= 0 && strings.HasSuffix(n, "}") {
+			base, labels = n[:i], n[i+1:len(n)-1]+","
+		}
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if b.Le != inf {
+				le = fmt.Sprintf("%g", b.Le)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, le, b.Count); err != nil {
+				return err
+			}
+		}
+		sl := ""
+		if labels != "" {
+			sl = "{" + strings.TrimSuffix(labels, ",") + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", base, sl, h.Sum, base, sl, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys sorted by
+// encoding/json, so deterministic for given values).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the Default registry's live snapshot under
+// the expvar name "streambalance" (visible at /debug/vars). Safe to
+// call more than once; only the first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("streambalance", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one completed span in a Tracer's ring buffer. Start is
+// nanoseconds since the tracer's epoch (process-relative, monotonic),
+// Dur the span's duration in nanoseconds, Attrs a space-separated
+// "key=value" list set via Span.Attr.
+type Event struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start_ns"`
+	Dur   int64  `json:"dur_ns"`
+	Attrs string `json:"attrs,omitempty"`
+}
+
+// Tracer records phase spans into a fixed-capacity ring buffer — a
+// flight recorder for the pipeline's coarse phases (extract, guess
+// selection, protocol rounds), not a per-op profiler. Like the metric
+// types it is built so instrumentation can be unconditional: when the
+// tracer is disabled, Start is a nil-check plus one atomic load and
+// returns an inert Span whose methods are nil-checks.
+type Tracer struct {
+	on    atomic.Bool
+	epoch time.Time
+
+	mu    sync.Mutex
+	clock func() int64 // test hook; nil = monotonic since epoch
+	ring  []Event
+	head  int   // index of the oldest event once the ring has wrapped
+	total int64 // events ever recorded
+}
+
+// NewTracer returns a disabled tracer with the given ring capacity
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{epoch: time.Now(), ring: make([]Event, 0, capacity)}
+}
+
+// Trace is the process-wide tracer (4096-span flight recorder),
+// disabled by default.
+var Trace = NewTracer(4096)
+
+// Enable turns span recording on.
+func (t *Tracer) Enable() { t.on.Store(true) }
+
+// Disable turns span recording off; recorded spans are retained.
+func (t *Tracer) Disable() { t.on.Store(false) }
+
+// Enabled reports whether the tracer records spans.
+func (t *Tracer) Enabled() bool { return t.on.Load() }
+
+// SetClock installs a deterministic clock returning nanoseconds since
+// the epoch — for golden tests only.
+func (t *Tracer) SetClock(f func() int64) {
+	t.mu.Lock()
+	t.clock = f
+	t.mu.Unlock()
+}
+
+func (t *Tracer) now() int64 {
+	t.mu.Lock()
+	f := t.clock
+	t.mu.Unlock()
+	if f != nil {
+		return f()
+	}
+	return int64(time.Since(t.epoch))
+}
+
+// Start begins a span. When the tracer is nil or disabled the returned
+// span is inert: Attr and End are nil-check no-ops.
+func (t *Tracer) Start(name string) Span {
+	if t == nil || !t.on.Load() {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.now()}
+}
+
+// StartSpan begins a span on the process-wide tracer.
+func StartSpan(name string) Span { return Trace.Start(name) }
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.head] = ev
+		t.head++
+		if t.head == cap(t.ring) {
+			t.head = 0
+		}
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the recorded spans, oldest first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// Total returns how many spans were ever recorded (≥ len(Events());
+// the excess was overwritten by the ring).
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.head = 0
+	t.total = 0
+	t.mu.Unlock()
+}
+
+// WriteSpans writes the recorded spans oldest-first, one line per span:
+//
+//	<name>  start=<ns> dur=<ns>  <attrs>
+//
+// The format is stable (golden-tested); timestamps are deterministic
+// only under SetClock.
+func (t *Tracer) WriteSpans(w io.Writer) error {
+	for _, ev := range t.Events() {
+		line := fmt.Sprintf("%-28s start=%dns dur=%dns", ev.Name, ev.Start, ev.Dur)
+		if ev.Attrs != "" {
+			line += "  " + ev.Attrs
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is one in-flight phase span. The zero Span (from a disabled
+// tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start int64
+	attrs string
+}
+
+// Active reports whether the span records anything — use it to gate
+// attribute computation that is itself expensive.
+func (sp *Span) Active() bool { return sp.t != nil }
+
+// Attr appends a key=value attribute to the span.
+func (sp *Span) Attr(key, value string) {
+	if sp.t == nil {
+		return
+	}
+	if sp.attrs != "" {
+		sp.attrs += " "
+	}
+	sp.attrs += key + "=" + value
+}
+
+// AttrInt appends an integer attribute.
+func (sp *Span) AttrInt(key string, v int64) {
+	if sp.t == nil {
+		return
+	}
+	sp.Attr(key, strconv.FormatInt(v, 10))
+}
+
+// AttrFloat appends a float attribute (shortest round-trip formatting).
+func (sp *Span) AttrFloat(key string, v float64) {
+	if sp.t == nil {
+		return
+	}
+	sp.Attr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// End completes the span and records it in the tracer's ring.
+func (sp *Span) End() {
+	if sp.t == nil {
+		return
+	}
+	now := sp.t.now()
+	sp.t.record(Event{Name: sp.name, Start: sp.start, Dur: now - sp.start, Attrs: sp.attrs})
+	sp.t = nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerGolden pins WriteSpans' format with a deterministic clock.
+func TestTracerGolden(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Enable()
+	var tick int64
+	tr.SetClock(func() int64 { tick += 100; return tick })
+
+	sp := tr.Start("stream.extract")
+	sp.AttrInt("decodes", 12)
+	sp.Attr("mode", "cold")
+	sp.End()
+	sp2 := tr.Start("dist.round2")
+	sp2.AttrFloat("o", 256)
+	sp2.End()
+
+	var sb strings.Builder
+	if err := tr.WriteSpans(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "stream.extract               start=100ns dur=100ns  decodes=12 mode=cold\n" +
+		"dist.round2                  start=300ns dur=100ns  o=256\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("WriteSpans:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	var tick int64
+	tr.SetClock(func() int64 { tick++; return tick })
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("s")
+		sp.End()
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	// Oldest-first: starts must be strictly increasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start <= evs[i-1].Start {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+}
+
+func TestDisabledTracerInert(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("x")
+	sp.Attr("k", "v")
+	sp.AttrInt("n", 1)
+	sp.End()
+	if sp.Active() {
+		t.Fatal("span from disabled tracer is active")
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatal("disabled tracer recorded a span")
+	}
+	var nilTr *Tracer
+	nsp := nilTr.Start("y")
+	nsp.End() // must not panic
+}
+
+// TestTracerParallel drives spans from many goroutines under -race.
+func TestTracerParallel(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start("p")
+				sp.AttrInt("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		tr.Events()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*500)
+	}
+}

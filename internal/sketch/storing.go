@@ -2,11 +2,26 @@ package sketch
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
+)
+
+// Telemetry (DESIGN.md §9). Handles are package vars so the hot paths
+// never touch the registry; every bump is gated on obs.Enabled inside
+// the metric itself. Per-level FAIL counters are created lazily on the
+// (rare) FAIL path.
+var (
+	mCacheHits  = obs.C("sketch_cache_hits_total")
+	mCacheMiss  = obs.C("sketch_cache_misses_total")
+	mCacheStale = obs.C("sketch_cache_stale_total")
+	mCacheDrops = obs.C("sketch_cache_drops_total")
+	mDecodeFail = obs.C("sketch_decode_fail_total")
+	mDecodeNS   = obs.H("sketch_decode_ns")
 )
 
 // Storing is the dynamic-streaming subroutine Storing(G_i, α, β, δ) of
@@ -54,6 +69,20 @@ type Storing struct {
 	cacheOK    bool
 	cacheEpoch uint64
 	cacheValid bool
+	stats      CacheStats // guarded by mu; always counted (query path only)
+}
+
+// CacheStats reports how the decode cache behaved over this instance's
+// lifetime. Hits are Result calls answered from the cache, Misses are
+// decodes with no cached entry (cold), Stale are decodes forced because
+// updates advanced the epoch past a cached entry (the invalidation
+// count), Drops counts DropCache calls that actually discarded a cached
+// decode (including Merge's internal drop).
+// Counting happens on the query path only — never per stream update —
+// so it is always on, independent of the obs.Enabled flag; the same
+// events also feed the global sketch_cache_* counters.
+type CacheStats struct {
+	Hits, Misses, Stale, Drops int64
 }
 
 // CellCount is one recovered non-empty cell.
@@ -181,9 +210,24 @@ func (st *Storing) Result() (StoringResult, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.cacheValid && st.cacheEpoch == st.epoch {
+		st.stats.Hits++
+		mCacheHits.Inc()
 		return st.cache, st.cacheOK
 	}
+	if st.cacheValid {
+		st.stats.Stale++
+		mCacheStale.Inc()
+	} else {
+		st.stats.Misses++
+		mCacheMiss.Inc()
+	}
+	t0 := obs.NowNano()
 	res, ok := st.decode()
+	mDecodeNS.ObserveSince(t0)
+	if !ok && obs.Enabled() {
+		mDecodeFail.Inc()
+		obs.C(`sketch_decode_fail_total{level="` + strconv.Itoa(st.level) + `"}`).Inc()
+	}
 	st.cache, st.cacheOK = res, ok
 	st.cacheEpoch, st.cacheValid = st.epoch, true
 	return res, ok
@@ -289,8 +333,20 @@ func (st *Storing) CacheFresh() bool {
 // performance knob: the next Result re-decodes from the slabs.
 func (st *Storing) DropCache() {
 	st.mu.Lock()
+	if st.cacheValid {
+		st.stats.Drops++
+		mCacheDrops.Inc()
+	}
 	st.cache, st.cacheOK, st.cacheEpoch, st.cacheValid = StoringResult{}, false, 0, false
 	st.mu.Unlock()
+}
+
+// CacheStats returns this instance's decode-cache behaviour so far.
+// Safe to call concurrently with Result.
+func (st *Storing) CacheStats() CacheStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
 }
 
 // CacheBytes reports the approximate memory held by the decode cache.

@@ -366,3 +366,54 @@ func TestStoringCachesFailedDecode(t *testing.T) {
 		break
 	}
 }
+
+// TestStoringCacheStats pins the decode-cache accounting that DropCache
+// decisions are made against: a cold Result is a miss, a repeated one a
+// hit, an update in between makes the next Result a stale re-decode
+// (the invalidation count), DropCache and Merge count as drops, and a
+// DropCache on an already-empty cache is not a drop.
+func TestStoringCacheStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := buildGrid(t, 1024, 2, 11)
+	st := NewStoring(rng, g, 4, 256, 0, 0.01)
+	for i := 0; i < 32; i++ {
+		st.Insert(geo.Point{1 + rng.Int63n(1024), 1 + rng.Int63n(1024)})
+	}
+
+	want := func(s CacheStats) {
+		t.Helper()
+		if got := st.CacheStats(); got != s {
+			t.Fatalf("CacheStats = %+v, want %+v", got, s)
+		}
+	}
+	want(CacheStats{})
+
+	st.Result() // cold decode
+	want(CacheStats{Misses: 1})
+	st.Result() // cached
+	st.Result()
+	want(CacheStats{Hits: 2, Misses: 1})
+
+	st.Insert(geo.Point{5, 5}) // epoch bump invalidates
+	st.Result()                // stale re-decode, not a cold miss
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1})
+
+	st.DropCache()
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1})
+	st.DropCache() // nothing cached: not a drop
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1})
+	st.Result() // cold again after the drop
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1})
+
+	// Merge invalidates via DropCache: the merged-in state voids the
+	// cached decode, and the next Result must re-peel.
+	fork := st.CloneEmpty()
+	fork.Insert(geo.Point{9, 9})
+	st.Merge(fork)
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 2})
+	if st.CacheFresh() {
+		t.Fatal("Merge must leave the cache invalid")
+	}
+	st.Result()
+	want(CacheStats{Hits: 2, Misses: 3, Stale: 1, Drops: 2})
+}

@@ -9,6 +9,7 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
 )
 
 // Auto runs the guess enumeration of Theorem 4.5: one Stream instance per
@@ -79,6 +80,7 @@ func NewAuto(cfg Config, oFactor float64) (*Auto, error) {
 		a.streams = append(a.streams, st)
 		a.guesses = append(a.guesses, o)
 	}
+	obs.G("stream_guess_instances").SetInt(int64(len(a.streams)))
 	return a, nil
 }
 
@@ -87,21 +89,26 @@ func (a *Auto) Guesses() []float64 { return a.guesses }
 
 // Insert feeds (p, +) to every guess instance.
 func (a *Auto) Insert(p geo.Point) {
+	mOps.Inc()
 	a.n++
 	a.reservoir.Insert(p)
 	a.costBound.Insert(p)
 	for _, s := range a.streams {
-		s.Insert(p)
+		// update, not Insert: stream_ops_total counts logical updates at
+		// the public entry point, not once per guess instance.
+		s.update(p, false)
 	}
 }
 
 // Delete feeds (p, −) to every guess instance.
 func (a *Auto) Delete(p geo.Point) {
+	mOps.Inc()
+	mDeletes.Inc()
 	a.n--
 	a.reservoir.Delete(p)
 	a.costBound.Delete(p)
 	for _, s := range a.streams {
-		s.Delete(p)
+		s.update(p, true)
 	}
 }
 
@@ -115,6 +122,7 @@ func (a *Auto) Apply(ops []Op) {
 	if len(ops) == 0 {
 		return
 	}
+	countBatch(ops)
 	var net int64
 	for i := range ops {
 		if ops[i].Delete {

@@ -39,6 +39,7 @@ import (
 
 	"streambalance/internal/coreset"
 	"streambalance/internal/geo"
+	"streambalance/internal/obs"
 	"streambalance/internal/partition"
 	"streambalance/internal/sketch"
 	"streambalance/internal/solve"
@@ -63,6 +64,7 @@ func warmStorings(units []*sketch.Storing, workers int) {
 	if len(pending) == 0 {
 		return
 	}
+	mExtractDecodes.Add(int64(len(pending)))
 	if workers > len(pending) {
 		workers = len(pending)
 	}
@@ -120,6 +122,21 @@ func (s *Stream) resultWith(workers int) (*coreset.Coreset, error) {
 	if s.n < 0 {
 		return nil, errors.New("stream: more deletions than insertions")
 	}
+	mExtracts.Inc()
+	t0 := obs.NowNano()
+	sp := obs.StartSpan("stream.extract")
+	sp.AttrFloat("o", s.cfg.O)
+	sp.AttrInt("workers", int64(workers))
+	defer func() {
+		mExtractNS.ObserveSince(t0)
+		if obs.Enabled() {
+			// Space gauges: the Theorem 4.5-accounted sketch state and the
+			// derived-state decode cache, sampled once per extraction.
+			mSketchBytes.SetInt(s.Bytes())
+			mCacheBytes.SetInt(s.DecodeCacheBytes())
+		}
+		sp.End()
+	}()
 	// Stage 1: decode every cell sketch the partition stage may consult,
 	// in parallel. The serial assembly below decides lazily which levels
 	// matter; pre-decoding the rest only wastes a bounded peel per sketch
@@ -278,8 +295,20 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 	if a.n < 0 {
 		return nil, errors.New("stream: more deletions than insertions")
 	}
+	sp := obs.StartSpan("stream.select")
+	sp.AttrInt("guesses", int64(len(a.streams)))
+	defer func() {
+		if obs.Enabled() {
+			mSketchBytes.SetInt(a.Bytes())
+			mCacheBytes.SetInt(a.DecodeCacheBytes())
+		}
+		sp.End()
+	}()
 	if a.reservoir.Clean() && len(a.reservoir.Sample()) >= 32 {
 		if cs := a.tryEstimateGuess(workers); cs != nil {
+			sp.Attr("via", "estimate")
+			sp.AttrFloat("o", cs.O)
+			mGuessSelected.Set(cs.O)
 			return cs, nil
 		}
 	}
@@ -313,8 +342,10 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 		if a.guesses[i] > guessCap {
 			break
 		}
+		mGuessAttempts.Inc()
 		cs, err := s.resultWith(workers)
 		if err != nil {
+			mGuessFails.Inc()
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -322,10 +353,15 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 		}
 		w := cs.TotalWeight()
 		if math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
+			mGuessRejects.Inc()
 			continue
 		}
+		sp.Attr("via", "scan")
+		sp.AttrFloat("o", cs.O)
+		mGuessSelected.Set(cs.O)
 		return cs, nil
 	}
+	sp.Attr("via", "none")
 	if firstErr != nil {
 		return nil, fmt.Errorf("%w (first failure: %v)", ErrNoGuessSucceeded, firstErr)
 	}
@@ -349,11 +385,14 @@ func (a *Auto) tryEstimateGuess(workers int) *coreset.Coreset {
 	if best < 0 {
 		return nil
 	}
+	mGuessAttempts.Inc()
 	cs, err := a.streams[best].resultWith(workers)
 	if err != nil {
+		mGuessFails.Inc()
 		return nil
 	}
 	if w := cs.TotalWeight(); math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
+		mGuessRejects.Inc()
 		return nil
 	}
 	return cs

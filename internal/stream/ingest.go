@@ -92,6 +92,7 @@ func (s *Stream) applyLevels(b *batch, lo, hi int) {
 	g := s.g
 	L, dim := g.L, g.Dim
 	idx := make([]int64, dim)
+	var nSel int64 // sketch updates applied; one atomic add per shard
 	for i := lo; i <= hi; i++ {
 		hS, hpS, hatS := s.hSamp[i], s.hpSamp[i], s.hatSamp[i]
 		sh := uint(L - i)
@@ -113,15 +114,19 @@ func (s *Stream) applyLevels(b *batch, lo, hi int) {
 			p, sign := b.ops[t].P, b.sign[t]
 			if hSel {
 				s.hStore[i].UpdateKeyed(ck, idx, key, p, sign)
+				nSel++
 			}
 			if hpSel {
 				s.hpStore[i].UpdateKeyed(ck, idx, key, p, sign)
+				nSel++
 			}
 			if hatSel {
 				s.hatStore[i].UpdateKeyed(ck, idx, key, p, sign)
+				nSel++
 			}
 		}
 	}
+	mSketchUpdates.Add(nSel)
 }
 
 // shard is one unit of parallel batch application: a level range of one

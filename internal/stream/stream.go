@@ -25,8 +25,35 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
 	"streambalance/internal/partition"
 	"streambalance/internal/sketch"
+)
+
+// Telemetry (DESIGN.md §9). Ingestion counters are bumped once per
+// logical update or per batch at the public entry points (Insert,
+// Delete, Apply on Stream and Auto) — never once per guess instance —
+// so stream_ops_total counts what the caller fed in, and
+// stream_sketch_updates_total counts the post-sampling fan-out the
+// sketches absorbed (accumulated locally in applyLevels, one atomic
+// add per shard).
+var (
+	mOps           = obs.C("stream_ops_total")
+	mDeletes       = obs.C("stream_deletes_total")
+	mBatches       = obs.C("stream_batches_total")
+	mBatchOps      = obs.H("stream_batch_ops")
+	mSketchUpdates = obs.C("stream_sketch_updates_total")
+
+	mExtracts       = obs.C("stream_extracts_total")
+	mExtractNS      = obs.H("stream_extract_ns")
+	mExtractDecodes = obs.C("stream_extract_decodes_total")
+	mSketchBytes    = obs.G("stream_sketch_bytes")
+	mCacheBytes     = obs.G("stream_decode_cache_bytes")
+
+	mGuessAttempts = obs.C("stream_guess_attempts_total")
+	mGuessFails    = obs.C("stream_guess_fail_total")
+	mGuessRejects  = obs.C("stream_guess_weight_reject_total")
+	mGuessSelected = obs.G("stream_guess_selected_o")
 )
 
 // Op is one dynamic stream update: an insertion, or a deletion of a point
@@ -173,10 +200,17 @@ func newShared(cfg Config, g *grid.Grid, fp *hashing.Fingerprint, rng *rand.Rand
 }
 
 // Insert processes (p, +).
-func (s *Stream) Insert(p geo.Point) { s.update(p, false) }
+func (s *Stream) Insert(p geo.Point) {
+	mOps.Inc()
+	s.update(p, false)
+}
 
 // Delete processes (p, −).
-func (s *Stream) Delete(p geo.Point) { s.update(p, true) }
+func (s *Stream) Delete(p geo.Point) {
+	mOps.Inc()
+	mDeletes.Inc()
+	s.update(p, true)
+}
 
 // Apply processes a batch of updates through the columnar ingestion
 // pipeline (ingest.go): per-op keys are computed once and reused across
@@ -186,6 +220,7 @@ func (s *Stream) Apply(ops []Op) {
 	if len(ops) == 0 {
 		return
 	}
+	countBatch(ops)
 	if s.b == nil {
 		s.b = new(batch)
 	}
@@ -200,6 +235,24 @@ func (s *Stream) Apply(ops []Op) {
 	}
 }
 
+// countBatch meters one Apply batch: a handful of atomic bumps per
+// batch, nothing per op.
+func countBatch(ops []Op) {
+	if !obs.Enabled() {
+		return
+	}
+	mBatches.Inc()
+	mBatchOps.Observe(int64(len(ops)))
+	mOps.Add(int64(len(ops)))
+	var dels int64
+	for i := range ops {
+		if ops[i].Delete {
+			dels++
+		}
+	}
+	mDeletes.Add(dels)
+}
+
 func (s *Stream) update(p geo.Point, del bool) {
 	if len(p) != s.g.Dim {
 		panic(fmt.Sprintf("stream: point dim %d != %d", len(p), s.g.Dim))
@@ -210,6 +263,7 @@ func (s *Stream) update(p geo.Point, del bool) {
 		s.n++
 	}
 	key := s.fp.Key(p)
+	var nSel int64
 	for i := 0; i <= s.g.L; i++ {
 		if i <= s.g.L-1 && s.hSamp[i].Sample(key) {
 			if del {
@@ -217,6 +271,7 @@ func (s *Stream) update(p geo.Point, del bool) {
 			} else {
 				s.hStore[i].Insert(p)
 			}
+			nSel++
 		}
 		if s.hpSamp[i].Sample(key) {
 			if del {
@@ -224,6 +279,7 @@ func (s *Stream) update(p geo.Point, del bool) {
 			} else {
 				s.hpStore[i].Insert(p)
 			}
+			nSel++
 		}
 		if s.hatSamp[i].Sample(key) {
 			if del {
@@ -231,8 +287,10 @@ func (s *Stream) update(p geo.Point, del bool) {
 			} else {
 				s.hatStore[i].Insert(p)
 			}
+			nSel++
 		}
 	}
+	mSketchUpdates.Add(nSel)
 }
 
 // N returns the exact current number of points.
