@@ -1,4 +1,4 @@
-.PHONY: check check-assign check-dist check-obs test bench vet
+.PHONY: check check-assign check-dist check-obs check-shard test bench vet
 
 # Full correctness gate: vet, build everything, then the whole test
 # suite under the race detector — the batched-ingest, parallel-extraction
@@ -36,6 +36,17 @@ check-obs:
 	go test -race ./internal/obs
 	go test -run DisabledOverheadBudget ./internal/obs
 	go test -run xxx -bench 'Disabled' -benchtime 100000x ./internal/obs
+
+# Fast sharded-ingest pass: vet the sharding packages, pin the Sharded
+# front-end's bit-identity with serial Apply (every shard count, the
+# quiet-drain cache ride, the merge-drop counter and sketch Reset) under
+# -race, then replay the FuzzShardMerge seed corpus. Runs in a couple of
+# minutes; CI runs it before the full suite so sharding regressions fail
+# fast.
+check-shard:
+	go vet ./internal/stream ./internal/sketch
+	go test -race -run 'Sharded|ShardMerge|StoringCacheStats|StoringMergeDrop|StoringReset' ./internal/stream ./internal/sketch
+	go test -race -run FuzzShardMerge ./internal/stream
 
 test:
 	go build ./... && go test ./...

@@ -14,13 +14,16 @@
 // fresh-graph vs arena-reuse vs warm-started capacity sweeps) and
 // distributed-protocol throughput (serial reference vs the pipelined
 // driver at 1/4/8 workers, plus measured wire bytes vs the closed-form
-// accounting), writing the numbers to BENCH_ingest.json,
-// BENCH_extract.json, BENCH_assign.json and BENCH_dist.json for
-// trajectory tracking.
+// accounting) and sharded multicore ingest (the worker×GOMAXPROCS grid
+// of the Sharded front-end, re-run at each setting of the -procs
+// matrix), writing the numbers to BENCH_ingest.json,
+// BENCH_extract.json, BENCH_assign.json, BENCH_dist.json and
+// BENCH_shard.json for trajectory tracking.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -47,7 +50,15 @@ import (
 // past one. The git revision comes from the binary's embedded build info
 // (present when built inside a work tree with VCS stamping; "unknown"
 // under -buildvcs=false or `go run` from a tarball).
-func runMeta() map[string]any {
+//
+// procsMatrix lists every GOMAXPROCS setting the bench exercised (nil
+// means just the current one). The meta block refuses to stamp a run as
+// "parallel" unless it both ran with GOMAXPROCS > 1 AND had more than
+// one CPU to run on — the historical trajectory files were all recorded
+// in a 1-CPU container, where worker-pool speedups read ~1.0× no matter
+// what the code does, and a consumer comparing files must be able to
+// tell those runs apart from real multicore ones.
+func runMeta(procsMatrix []int) map[string]any {
 	rev, dirty := "unknown", false
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range bi.Settings {
@@ -59,7 +70,17 @@ func runMeta() map[string]any {
 			}
 		}
 	}
-	return map[string]any{
+	if len(procsMatrix) == 0 {
+		procsMatrix = []int{runtime.GOMAXPROCS(0)}
+	}
+	maxProcs := 0
+	for _, p := range procsMatrix {
+		if p > maxProcs {
+			maxProcs = p
+		}
+	}
+	parallel := maxProcs > 1 && runtime.NumCPU() > 1
+	m := map[string]any{
 		"git_revision": rev,
 		"git_dirty":    dirty,
 		"go_version":   runtime.Version(),
@@ -68,7 +89,14 @@ func runMeta() map[string]any {
 		"goos":         runtime.GOOS,
 		"goarch":       runtime.GOARCH,
 		"timestamp":    time.Now().UTC().Format(time.RFC3339),
+		"procs_matrix": procsMatrix,
+		"parallel":     parallel,
 	}
+	if !parallel {
+		m["parallel_caveat"] = "recorded with a single effective CPU (GOMAXPROCS or NumCPU = 1); " +
+			"concurrency speedups in this file read ~1.0x and reflect algorithmic wins only"
+	}
+	return m
 }
 
 // benchIngest measures ingest ops/sec of the guess-enumeration ensemble
@@ -118,7 +146,7 @@ func benchIngest(scale float64, seed int64) error {
 	batchedSec := float64(n) / time.Since(t0).Seconds()
 
 	rec := map[string]any{
-		"meta":                runMeta(),
+		"meta":                runMeta(nil),
 		"bench":               "stream_ingest",
 		"n_ops":               n,
 		"guesses":             len(serial.Guesses()),
@@ -219,7 +247,7 @@ func benchExtract(scale float64, seed int64) error {
 	warmSec := rounds / elapsed[2].Seconds()
 
 	rec := map[string]any{
-		"meta":                     runMeta(),
+		"meta":                     runMeta(nil),
 		"bench":                    "stream_extract",
 		"n_points":                 n,
 		"guesses":                  len(a.Guesses()),
@@ -335,7 +363,7 @@ func benchAssign(scale float64, seed int64) error {
 	warmSec := float64(rounds*solves) / elapsed[2].Seconds()
 
 	rec := map[string]any{
-		"meta":                  runMeta(),
+		"meta":                  runMeta(nil),
 		"bench":                 "assign_sweep",
 		"n_points":              n,
 		"k":                     k,
@@ -434,7 +462,7 @@ func benchDist(scale float64, seed int64) error {
 	}
 
 	rec := map[string]any{
-		"meta":              runMeta(),
+		"meta":              runMeta(nil),
 		"bench":             "dist_protocol",
 		"n_points":          n,
 		"machines":          s,
@@ -468,11 +496,162 @@ func benchDist(scale float64, seed int64) error {
 	return nil
 }
 
+// benchShard measures the sharded multicore ingest front-end: for every
+// GOMAXPROCS setting in the -procs matrix it re-runs the ingest ladder —
+// the unsharded batched pipeline as the baseline, then the Sharded
+// front-end at 1/2/4/8 workers — and records the worker×proc ops/sec
+// grid in BENCH_shard.json. Every configuration is digest-checked
+// against a serial reference: sharded ingest followed by merge must be
+// bit-identical to serial Apply of the same ops (the timed window covers
+// Apply+Flush; the merge runs inside the untimed digest check, its
+// latency captured by the stream_shard_merge_ns histogram).
+func benchShard(scale float64, seed int64, procs []int) error {
+	n := int(16384 * scale)
+	if n < 1024 {
+		n = 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ps, _ := workload.Mixture{N: n, D: 2, Delta: 1 << 12, K: 4, Spread: 20, Skew: 2, NoiseFrac: 0.05}.Generate(rng)
+	cfg := streambalance.StreamConfig{
+		Dim: 2, Delta: 1 << 12,
+		Params:       streambalance.Params{K: 4, Seed: seed},
+		CellSparsity: 512, PointSparsity: 2048,
+	}
+	ops := make([]streambalance.Op, n)
+	for i, p := range ps {
+		ops[i] = streambalance.Op{P: p}
+	}
+	const batchSize = 4096
+	newAuto := func() *streambalance.AutoStream {
+		a, err := streambalance.NewAutoStream(cfg, 4)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	applyBatches := func(apply func([]streambalance.Op)) {
+		for i := 0; i < n; i += batchSize {
+			end := i + batchSize
+			if end > n {
+				end = n
+			}
+			apply(ops[i:end])
+		}
+	}
+
+	// Serial reference digest, computed once: every grid cell must
+	// recombine to exactly this state.
+	ref := newAuto()
+	applyBatches(ref.Apply)
+	refDigest := ref.StateDigest()
+	guesses := len(ref.Guesses())
+	ref = nil
+
+	workersLadder := []int{1, 2, 4, 8}
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	fmt.Printf("sharded ingest (n=%d ops, %d guesses, NumCPU=%d)\n", n, guesses, runtime.NumCPU())
+	type cell struct{ procs, workers int }
+	grid := make(map[cell]float64)
+	var rows []map[string]any
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+
+		batched := newAuto()
+		t0 := time.Now()
+		applyBatches(batched.Apply)
+		batchedSec := float64(n) / time.Since(t0).Seconds()
+		if batched.StateDigest() != refDigest {
+			return fmt.Errorf("procs=%d: batched pipeline diverged from the serial reference", p)
+		}
+		batched = nil
+
+		shardCols := map[string]any{}
+		for _, w := range workersLadder {
+			sh := streambalance.ShardAutoStream(newAuto(), w)
+			t0 := time.Now()
+			applyBatches(sh.Apply)
+			sh.Flush()
+			sec := float64(n) / time.Since(t0).Seconds()
+			if sh.StateDigest() != refDigest {
+				return fmt.Errorf("procs=%d workers=%d: sharded ingest diverged from the serial reference", p, w)
+			}
+			sh.Close()
+			grid[cell{p, w}] = sec
+			shardCols[fmt.Sprintf("%d", w)] = sec
+		}
+		rows = append(rows, map[string]any{
+			"procs":                 p,
+			"ops_per_sec_batched":   batchedSec,
+			"ops_per_sec_by_shards": shardCols,
+		})
+		fmt.Printf("  procs=%d  batched: %9.0f ops/sec   shards:", p, batchedSec)
+		for _, w := range workersLadder {
+			fmt.Printf("  %dw %9.0f", w, grid[cell{p, w}])
+		}
+		fmt.Println()
+	}
+	runtime.GOMAXPROCS(origProcs)
+
+	maxP := procs[len(procs)-1]
+	baseline := grid[cell{procs[0], 1}]
+	best := grid[cell{maxP, workersLadder[len(workersLadder)-1]}]
+	rec := map[string]any{
+		"meta":     runMeta(procs),
+		"bench":    "stream_shard",
+		"n_ops":    n,
+		"guesses":  guesses,
+		"seed":     seed,
+		"workers":  workersLadder,
+		"procs":    procs,
+		"grid":     rows,
+		"aggregate_speedup_8w_maxprocs_over_1w_minprocs": best / baseline,
+	}
+	fmt.Printf("  aggregate: %dw@%dprocs %.2fx over 1w@%dprocs\n", workersLadder[len(workersLadder)-1], maxP, best/baseline, procs[0])
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_shard.json")
+	return nil
+}
+
+// parseProcs parses the -procs flag: a comma-separated ascending list of
+// GOMAXPROCS settings for the shard matrix.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var p int
+		if _, err := fmt.Sscanf(f, "%d", &p); err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-procs is empty")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			return nil, fmt.Errorf("-procs must be ascending, got %v", out)
+		}
+	}
+	return out, nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "instance size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
 	bench := flag.Bool("bench", false, "measure ingest and extraction throughput, writing BENCH_ingest.json and BENCH_extract.json")
+	procs := flag.String("procs", "1,2,4,8", "comma-separated ascending GOMAXPROCS matrix for the sharded-ingest bench")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060) while running")
 	metricsDump := flag.String("metrics", "", "dump a final telemetry snapshot to stderr: text (Prometheus exposition) or json")
 	flag.Parse()
@@ -523,6 +702,15 @@ func main() {
 			os.Exit(1)
 		}
 		if err := benchDist(*scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		procsMatrix, err := parseProcs(*procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := benchShard(*scale, *seed, procsMatrix); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

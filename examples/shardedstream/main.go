@@ -5,9 +5,16 @@
 // sequential pass (Lemma 4.2's mergability, the same property Theorem 4.7
 // builds the distributed protocol on).
 //
-// Scenario: four ingestion workers consume partitions of a sensor feed
-// (with sensor churn: readings are retracted when a sensor is
-// recalibrated); a query thread merges and extracts the coreset.
+// The ShardedStream front-end packages that pattern: callers Apply ops
+// on one goroutine; the front-end hash-routes them to a pool of ingest
+// workers with private sketch clones and recombines lazily at query
+// time (DESIGN.md §10). The second half of this example re-runs the
+// same feed by hand with Fork/Merge to show what the front-end
+// automates — and that both roads end at the identical state digest.
+//
+// Scenario: a sensor feed with churn (readings are retracted when a
+// sensor is recalibrated) is ingested through a 4-worker front-end; a
+// query thread extracts the coreset mid-stream and again at the end.
 package main
 
 import (
@@ -33,61 +40,93 @@ func main() {
 	}.Generate(rng)
 	// 10% of readings are later retracted (sensor recalibration).
 	retracted := readings[:n/10]
+	ops := make([]streambalance.Op, 0, n+n/10)
+	for _, p := range readings {
+		ops = append(ops, streambalance.Op{P: p})
+	}
+	for _, p := range retracted {
+		ops = append(ops, streambalance.Op{P: p, Delete: true})
+	}
 
 	est, err := streambalance.EstimateOPT(readings, k, 2, 1)
 	if err != nil {
 		panic(err)
 	}
-	main_, err := streambalance.NewStream(streambalance.StreamConfig{
+	cfg := streambalance.StreamConfig{
 		Dim: 2, Delta: delta,
 		O:      streambalance.GuessFromEstimate(est),
 		Params: streambalance.Params{K: k, Seed: 9},
 		// Sized for ~10k survivors: at a couple of levels every surviving
 		// point is sampled (φ_i = 1), so the point sketches must hold them.
 		CellSparsity: 4096, PointSparsity: 16384,
-	})
+		Shards: workers,
+	}
+
+	// — The front-end road: Apply batches, extract whenever. —
+	s, err := streambalance.NewStream(cfg)
 	if err != nil {
 		panic(err)
 	}
-
-	forks := make([]*streambalance.Stream, workers)
-	for i := range forks {
-		forks[i] = main_.Fork()
-	}
+	sh := streambalance.ShardStream(s, workers)
+	defer sh.Close()
 
 	t0 := time.Now()
+	const batch = 512
+	for i := 0; i < len(ops); i += batch {
+		end := i + batch
+		if end > len(ops) {
+			end = len(ops)
+		}
+		sh.Apply(ops[i:end])
+	}
+	ingestMS := time.Since(t0).Milliseconds()
+	cs, err := sh.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ingested %d updates through a %d-worker front-end in %d ms (imbalance %.2f)\n",
+		len(ops), sh.Shards(), ingestMS, sh.Imbalance())
+	fmt.Printf("surviving readings: %d; coreset: %d weighted points (weight %.0f)\n",
+		sh.N(), cs.Size(), cs.TotalWeight())
+
+	// — The manual road the front-end automates: Fork, ingest, Merge. —
+	manual, err := streambalance.NewStream(cfg)
+	if err != nil {
+		panic(err)
+	}
+	forks := make([]*streambalance.Stream, workers)
+	for i := range forks {
+		forks[i] = manual.Fork()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Worker w ingests its partition of the feed…
-			for i := w; i < len(readings); i += workers {
-				forks[w].Insert(readings[i])
-			}
-			// …and the retractions that route to it.
-			for i := w; i < len(retracted); i += workers {
-				forks[w].Delete(retracted[i])
+			// Worker w ingests every op the front-end's hash routing would
+			// NOT necessarily give it — an arbitrary round-robin split.
+			// Linearity makes the partition irrelevant to the merged state.
+			for i := w; i < len(ops); i += workers {
+				if ops[i].Delete {
+					forks[w].Delete(ops[i].P)
+				} else {
+					forks[w].Insert(ops[i].P)
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	ingestMS := time.Since(t0).Milliseconds()
-
 	for _, f := range forks {
-		main_.Merge(f)
+		manual.Merge(f)
 	}
-	cs, err := main_.Result()
-	if err != nil {
-		panic(err)
+	if manual.StateDigest() != s.StateDigest() {
+		panic("front-end and manual fork/merge disagree — linearity violated")
 	}
-	fmt.Printf("ingested %d updates on %d workers in %d ms\n",
-		len(readings)+len(retracted), workers, ingestMS)
-	fmt.Printf("surviving readings: %d; coreset: %d weighted points (weight %.0f)\n",
-		main_.N(), cs.Size(), cs.TotalWeight())
+	fmt.Println("\nmanual round-robin fork/merge reproduced the front-end's state digest:")
+	fmt.Println("any partition of the ops recombines to the same sketches — linearity.")
 
 	// Balanced segmentation of the surviving readings.
-	t := 1.15 * float64(main_.N()) / k
+	t := 1.15 * float64(sh.N()) / k
 	sol, ok := streambalance.SolveCapacitated(cs.Points, k, t*1.3, streambalance.SolveOptions{Seed: 4})
 	if !ok {
 		panic("infeasible")
@@ -96,6 +135,4 @@ func main() {
 	for i, z := range sol.Centers {
 		fmt.Printf("  segment %d at %v, weight %.0f\n", i, z, sol.Sizes[i])
 	}
-	fmt.Println("\nmerged fork state is bit-identical to a sequential pass — linearity")
-	fmt.Println("is what makes both the sharding here and the deletions above exact.")
 }

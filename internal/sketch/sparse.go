@@ -146,6 +146,12 @@ func (sr *SparseRecovery) CloneEmpty() *SparseRecovery {
 	return &cp
 }
 
+// Reset zeroes the bucket state in place, keeping the hash functions —
+// the memory-recycling analogue of CloneEmpty.
+func (sr *SparseRecovery) Reset() {
+	clear(sr.slab)
+}
+
 // clone deep-copies the bucket state (hash functions shared).
 func (sr *SparseRecovery) clone() *SparseRecovery {
 	cp := sr.CloneEmpty()

@@ -16,12 +16,13 @@ import (
 // the metric itself. Per-level FAIL counters are created lazily on the
 // (rare) FAIL path.
 var (
-	mCacheHits  = obs.C("sketch_cache_hits_total")
-	mCacheMiss  = obs.C("sketch_cache_misses_total")
-	mCacheStale = obs.C("sketch_cache_stale_total")
-	mCacheDrops = obs.C("sketch_cache_drops_total")
-	mDecodeFail = obs.C("sketch_decode_fail_total")
-	mDecodeNS   = obs.H("sketch_decode_ns")
+	mCacheHits       = obs.C("sketch_cache_hits_total")
+	mCacheMiss       = obs.C("sketch_cache_misses_total")
+	mCacheStale      = obs.C("sketch_cache_stale_total")
+	mCacheDrops      = obs.C("sketch_cache_drops_total")
+	mCacheMergeDrops = obs.C("sketch_cache_merge_drops_total")
+	mDecodeFail      = obs.C("sketch_decode_fail_total")
+	mDecodeNS        = obs.H("sketch_decode_ns")
 )
 
 // Storing is the dynamic-streaming subroutine Storing(G_i, α, β, δ) of
@@ -77,12 +78,15 @@ type Storing struct {
 // decodes with no cached entry (cold), Stale are decodes forced because
 // updates advanced the epoch past a cached entry (the invalidation
 // count), Drops counts DropCache calls that actually discarded a cached
-// decode (including Merge's internal drop).
+// decode (including Merge's internal drop). MergeDrops is the subset of
+// Drops caused by Merge — the cache churn a sharded-ingest recombination
+// inflicts on the query snapshot (DESIGN.md §10); each MergeDrop is also
+// counted in Drops.
 // Counting happens on the query path only — never per stream update —
 // so it is always on, independent of the obs.Enabled flag; the same
 // events also feed the global sketch_cache_* counters.
 type CacheStats struct {
-	Hits, Misses, Stale, Drops int64
+	Hits, Misses, Stale, Drops, MergeDrops int64
 }
 
 // CellCount is one recovered non-empty cell.
@@ -287,7 +291,42 @@ func (st *Storing) Merge(other *Storing) {
 	}
 	st.netUpdates += other.netUpdates
 	st.epoch++
-	st.DropCache() // merged-in state invalidates any cached decode
+	st.dropForMerge() // merged-in state invalidates any cached decode
+}
+
+// dropForMerge is Merge's cache invalidation. A discarded decode counts
+// both as a generic drop and under the merge-specific counters, so the
+// cache churn of merge-at-extraction recombination is separable from
+// explicit DropCache calls.
+func (st *Storing) dropForMerge() {
+	st.mu.Lock()
+	if st.cacheValid {
+		st.stats.Drops++
+		st.stats.MergeDrops++
+		mCacheDrops.Inc()
+		mCacheMergeDrops.Inc()
+	}
+	st.cache, st.cacheOK, st.cacheEpoch, st.cacheValid = StoringResult{}, false, 0, false
+	st.mu.Unlock()
+}
+
+// Reset zeroes the sketch in place — slabs, net-update counter, epoch and
+// decode cache — keeping the hash functions and allocations: after Reset
+// the instance is state-identical to a newborn CloneEmpty sibling (equal
+// Digest, Epoch 0) but reuses its memory. The sharded ingest front-end
+// resets worker shards after folding them into the query snapshot instead
+// of reallocating fresh forks every merge cycle. Cache stats survive
+// (discarding a live cached decode counts as a drop).
+func (st *Storing) Reset() {
+	st.DropCache()
+	if st.cells != nil {
+		st.cells.Reset()
+	}
+	if st.points != nil {
+		st.points.Reset()
+	}
+	st.netUpdates = 0
+	st.epoch = 0
 }
 
 // CloneEmpty returns a zeroed Storing sharing st's hash functions, so the

@@ -7,6 +7,7 @@ import (
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
 	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
 )
 
 func buildGrid(t *testing.T, delta int64, dim int, seed int64) *grid.Grid {
@@ -405,15 +406,98 @@ func TestStoringCacheStats(t *testing.T) {
 	st.Result() // cold again after the drop
 	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1})
 
-	// Merge invalidates via DropCache: the merged-in state voids the
-	// cached decode, and the next Result must re-peel.
+	// Merge invalidates via its internal drop: the merged-in state voids
+	// the cached decode (counted both as a drop and as a merge drop), and
+	// the next Result must re-peel.
 	fork := st.CloneEmpty()
 	fork.Insert(geo.Point{9, 9})
 	st.Merge(fork)
-	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 2})
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 2, MergeDrops: 1})
 	if st.CacheFresh() {
 		t.Fatal("Merge must leave the cache invalid")
 	}
 	st.Result()
-	want(CacheStats{Hits: 2, Misses: 3, Stale: 1, Drops: 2})
+	want(CacheStats{Hits: 2, Misses: 3, Stale: 1, Drops: 2, MergeDrops: 1})
+}
+
+// TestStoringMergeDropCounter pins the obs counter behind CacheStats's
+// MergeDrops: sketch_cache_merge_drops_total moves exactly when a Merge
+// discards a live cached decode — not on merges into an undecoded
+// receiver, and not on explicit DropCache calls.
+func TestStoringMergeDropCounter(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	ctr := obs.C("sketch_cache_merge_drops_total")
+
+	rng := rand.New(rand.NewSource(12))
+	g := buildGrid(t, 1024, 2, 12)
+	st := NewStoring(rng, g, 4, 256, 0, 0.01)
+	st.Insert(geo.Point{3, 3})
+
+	fork := st.CloneEmpty()
+	fork.Insert(geo.Point{7, 7})
+
+	// No cached decode on the receiver: the merge invalidates nothing.
+	before := ctr.Load()
+	st.Merge(fork)
+	if got := ctr.Load(); got != before {
+		t.Fatalf("merge into undecoded receiver moved the counter: %d -> %d", before, got)
+	}
+
+	// A live cached decode: the merge must record exactly one merge drop.
+	st.Result()
+	fork2 := st.CloneEmpty()
+	fork2.Insert(geo.Point{9, 9})
+	st.Merge(fork2)
+	if got := ctr.Load(); got != before+1 {
+		t.Fatalf("merge over a cached decode: counter %d -> %d, want +1", before, got)
+	}
+	if s := st.CacheStats(); s.MergeDrops != 1 {
+		t.Fatalf("CacheStats.MergeDrops = %d, want 1", s.MergeDrops)
+	}
+
+	// An explicit DropCache is a plain drop, never a merge drop.
+	st.Result()
+	st.DropCache()
+	if got := ctr.Load(); got != before+1 {
+		t.Fatalf("DropCache moved the merge-drop counter: %d -> %d", before+1, got)
+	}
+}
+
+// TestStoringReset: a Reset instance is state-identical to a newborn
+// CloneEmpty sibling — equal digest, zero epoch and net updates, no
+// cached decode — and sketches a fresh shard exactly like one.
+func TestStoringReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := buildGrid(t, 1024, 2, 13)
+	st := NewStoring(rng, g, 4, 256, 8, 0.01)
+	virgin := st.CloneEmpty()
+
+	for i := 0; i < 20; i++ {
+		st.Insert(geo.Point{1 + rng.Int63n(1024), 1 + rng.Int63n(1024)})
+	}
+	st.Result() // populate the cache so Reset must discard it
+	if st.Digest() == virgin.Digest() {
+		t.Fatal("updates left no trace")
+	}
+
+	st.Reset()
+	if st.Digest() != virgin.Digest() {
+		t.Fatal("Reset digest differs from a newborn sibling")
+	}
+	if st.Epoch() != 0 || st.NetUpdates() != 0 {
+		t.Fatalf("Reset left epoch=%d netUpdates=%d", st.Epoch(), st.NetUpdates())
+	}
+	if st.CacheFresh() {
+		t.Fatal("Reset must discard the cached decode")
+	}
+
+	// Re-sketching after Reset matches a fresh sibling sketching the same
+	// stream (the worker-shard recycling contract of the sharded ingest).
+	p := geo.Point{5, 6}
+	st.Insert(p)
+	virgin.Insert(p)
+	if st.Digest() != virgin.Digest() {
+		t.Fatal("post-Reset sketching diverged from a fresh sibling")
+	}
 }

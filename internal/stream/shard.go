@@ -1,0 +1,444 @@
+// Sharded multicore ingest front-end.
+//
+// Every sketch in this package is LINEAR: the state after a stream is the
+// sum of per-op contributions, and addition over int64 counters and
+// GF(2⁶¹−1) elements is exact, commutative and associative. A single
+// logical op stream can therefore be split across P independent ingest
+// workers — each owning a private clone-sibling of every sketch — and
+// recombined exactly by Storing.Merge at query time. This is the
+// merge-and-reduce composition of Braverman et al. (arXiv:1706.03887)
+// used as a THROUGHPUT architecture rather than a space argument: the
+// partition of ops across workers is irrelevant to the merged state, so
+// the front-end is free to hash-partition for balance and the result is
+// bit-identical to a serial pass (StateDigest, extraction Result, FAIL
+// sets) at any shard count. TestShardedAutoMatchesSerial and
+// FuzzShardMerge enforce this under -race.
+//
+// Shape (DESIGN.md §10):
+//
+//	Apply (dispatcher)            workers (one goroutine each)
+//	  order-sensitive bookkeeping   own batch column build
+//	  hash-route ops by fp key  ──▶ bounded chan ──▶ applyLevels on
+//	  (no locks, no atomics)        private forks (no shared state)
+//
+//	Result/StateDigest (drain)
+//	  flush barrier ▶ merge DIRTY shards only ▶ reset shards ▶ query
+//
+// The hot path has no locks and no atomics: the dispatcher owns the
+// routing buffers, each worker owns its forks, and the only
+// synchronization is the bounded per-worker channel (backpressure) plus
+// the flush barrier. Merging is lazy — it happens at extraction, not per
+// batch — and epoch-aware: shards (and sketch levels within a shard)
+// that saw no ops since the last merge are skipped, so a query after a
+// quiet period rides the epoch-tagged decode cache exactly like the
+// unsharded path.
+package stream
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/geo"
+	"streambalance/internal/grid"
+	"streambalance/internal/hashing"
+	"streambalance/internal/obs"
+)
+
+// Telemetry (DESIGN.md §10). Per-shard handles are resolved once at
+// construction so the dispatch path never touches the registry.
+var (
+	mShardWorkers   = obs.G("stream_shard_workers")
+	mShardBatches   = obs.C("stream_shard_batches_total")
+	mShardFlushes   = obs.C("stream_shard_flushes_total")
+	mShardMerges    = obs.C("stream_shard_merges_total")
+	mShardMergeNS   = obs.H("stream_shard_merge_ns")
+	mShardImbalance = obs.G("stream_shard_imbalance")
+)
+
+// shardQueueDepth bounds each worker's batch queue. A full queue blocks
+// the dispatcher — backpressure, not buffering, is the overload story.
+const shardQueueDepth = 8
+
+// shardMsg is one unit of work on a worker queue: a routed sub-batch
+// and/or a flush marker to acknowledge.
+type shardMsg struct {
+	ops []Op
+	ack chan<- struct{}
+}
+
+// ingestWorker is one shard: a goroutine owning a private fork of every
+// target Stream. Nothing outside the worker touches the forks between
+// the construction and a drain barrier.
+type ingestWorker struct {
+	ch    chan shardMsg
+	free  chan []Op // recycled op buffers, dispatcher ↔ worker
+	forks []*Stream // one private clone-sibling per target stream
+	ops   *obs.Counter
+	depth *obs.Gauge
+}
+
+// Sharded is a multicore ingest front-end over a Stream or Auto: it
+// hash-partitions each Apply batch across its workers and recombines the
+// shards lazily when a query (Result, StateDigest, …) needs the merged
+// state. It is single-dispatcher like Stream/Auto — Apply, Flush and the
+// query methods must not be called concurrently — and must be Closed to
+// release the worker goroutines.
+type Sharded struct {
+	a  *Auto     // nil when fronting a single-guess Stream
+	ss []*Stream // merge targets: a's guess instances, or the one Stream
+	g  *grid.Grid
+	fp *hashing.Fingerprint
+
+	workers []*ingestWorker
+	wg      sync.WaitGroup
+	acks    chan struct{}
+
+	stage    [][]Op  // per-worker routing buffer for the current Apply
+	routed   []int64 // ops routed per worker since its last merge
+	totalOps []int64 // ops routed per worker over the lifetime (imbalance)
+	closed   bool
+}
+
+// ShardAuto wraps a guess-enumeration ensemble in a sharded ingest
+// front-end with the given worker count (≤ 0 selects GOMAXPROCS). The
+// ensemble must not be fed directly once wrapped; query it through the
+// front-end, or directly after Flush — the front-end keeps a's
+// bookkeeping (N, reservoir, cost bound) current at dispatch time and
+// its sketches current at every drain.
+func ShardAuto(a *Auto, shards int) *Sharded {
+	sh := &Sharded{a: a, ss: a.streams, g: a.g, fp: a.fp}
+	sh.start(shards)
+	return sh
+}
+
+// ShardStream wraps a single-guess Stream in a sharded ingest front-end
+// with the given worker count (≤ 0 selects GOMAXPROCS).
+func ShardStream(s *Stream, shards int) *Sharded {
+	sh := &Sharded{ss: []*Stream{s}, g: s.g, fp: s.fp}
+	sh.start(shards)
+	return sh
+}
+
+// NewSharded builds the guess-enumeration ensemble of NewAuto and wraps
+// it in a sharded ingest front-end with cfg.Shards workers.
+func NewSharded(cfg Config, oFactor float64) (*Sharded, error) {
+	a, err := NewAuto(cfg, oFactor)
+	if err != nil {
+		return nil, err
+	}
+	return ShardAuto(a, cfg.Shards), nil
+}
+
+func (sh *Sharded) start(shards int) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sh.workers = make([]*ingestWorker, shards)
+	sh.acks = make(chan struct{}, shards)
+	sh.stage = make([][]Op, shards)
+	sh.routed = make([]int64, shards)
+	sh.totalOps = make([]int64, shards)
+	for w := range sh.workers {
+		iw := &ingestWorker{
+			ch:    make(chan shardMsg, shardQueueDepth),
+			free:  make(chan []Op, shardQueueDepth+1),
+			forks: make([]*Stream, len(sh.ss)),
+			ops:   obs.C(`stream_shard_ops_total{shard="` + strconv.Itoa(w) + `"}`),
+			depth: obs.G(`stream_shard_queue_depth{shard="` + strconv.Itoa(w) + `"}`),
+		}
+		for i, s := range sh.ss {
+			iw.forks[i] = s.Fork()
+		}
+		sh.workers[w] = iw
+		sh.wg.Add(1)
+		go sh.run(iw)
+	}
+	mShardWorkers.SetInt(int64(shards))
+}
+
+// run is the worker loop: build the sub-batch's key columns, apply them
+// to every private fork, recycle the buffer, acknowledge flush markers.
+// The column build runs here — not on the dispatcher — so fingerprinting
+// and cell-key derivation parallelize with the sketch updates.
+func (sh *Sharded) run(w *ingestWorker) {
+	defer sh.wg.Done()
+	var b batch
+	for msg := range w.ch {
+		if len(msg.ops) > 0 {
+			b.build(sh.g, sh.fp, msg.ops)
+			for _, f := range w.forks {
+				f.applyLevels(&b, 0, sh.g.L)
+			}
+			b.ops = nil // drop the reference before recycling the buffer
+			select {
+			case w.free <- msg.ops[:0]:
+			default:
+			}
+			w.depth.SetInt(int64(len(w.ch)))
+		}
+		if msg.ack != nil {
+			w.depth.SetInt(int64(len(w.ch)))
+			msg.ack <- struct{}{}
+		}
+	}
+}
+
+// Apply hash-partitions a batch of updates across the ingest workers and
+// returns once every sub-batch is enqueued (not applied — Flush or any
+// query is the barrier). Ops are copied into worker-owned buffers, so
+// the caller may reuse the slice immediately. Order-sensitive
+// bookkeeping — N, and for Auto the guess-selection reservoir and cost
+// bound — runs here on the dispatcher in arrival order, exactly as the
+// unsharded Apply does, so sharding never changes guess selection.
+func (sh *Sharded) Apply(ops []Op) {
+	if sh.closed {
+		panic("stream: Apply on a closed Sharded")
+	}
+	if len(ops) == 0 {
+		return
+	}
+	countBatch(ops)
+	var net int64
+	if sh.a != nil {
+		for i := range ops {
+			if ops[i].Delete {
+				net--
+				sh.a.reservoir.Delete(ops[i].P)
+				sh.a.costBound.Delete(ops[i].P)
+			} else {
+				net++
+				sh.a.reservoir.Insert(ops[i].P)
+				sh.a.costBound.Insert(ops[i].P)
+			}
+		}
+		sh.a.n += net
+	} else {
+		for i := range ops {
+			if ops[i].Delete {
+				net--
+			} else {
+				net++
+			}
+		}
+	}
+	for _, s := range sh.ss {
+		s.n += net
+	}
+
+	// Route by the op's point fingerprint: linearity makes ANY partition
+	// recombine to the same state, so the hash only has to balance load —
+	// and routing by point identity keeps an op and its later deletion on
+	// one shard, so per-shard net counts stay meaningful.
+	P := len(sh.workers)
+	if P == 1 {
+		buf := append(sh.workers[0].takeBuf(), ops...)
+		sh.dispatch(0, buf)
+		return
+	}
+	for i := range ops {
+		w := int(hashing.Mix64(sh.fp.Key(ops[i].P)) % uint64(P))
+		buf := sh.stage[w]
+		if buf == nil {
+			buf = sh.workers[w].takeBuf()
+		}
+		sh.stage[w] = append(buf, ops[i])
+	}
+	for w := range sh.stage {
+		if len(sh.stage[w]) == 0 {
+			continue
+		}
+		sh.dispatch(w, sh.stage[w])
+		sh.stage[w] = nil
+	}
+}
+
+// Insert feeds a single insertion (a one-op batch; prefer Apply).
+func (sh *Sharded) Insert(p geo.Point) { sh.Apply([]Op{{P: p}}) }
+
+// Delete feeds a single deletion (a one-op batch; prefer Apply).
+func (sh *Sharded) Delete(p geo.Point) { sh.Apply([]Op{{P: p, Delete: true}}) }
+
+func (w *ingestWorker) takeBuf() []Op {
+	select {
+	case b := <-w.free:
+		return b
+	default:
+		return make([]Op, 0, 512)
+	}
+}
+
+// dispatch enqueues one routed sub-batch, blocking when the worker's
+// bounded queue is full (backpressure).
+func (sh *Sharded) dispatch(w int, ops []Op) {
+	iw := sh.workers[w]
+	iw.ch <- shardMsg{ops: ops}
+	sh.routed[w] += int64(len(ops))
+	sh.totalOps[w] += int64(len(ops))
+	mShardBatches.Inc()
+	iw.ops.Add(int64(len(ops)))
+	iw.depth.SetInt(int64(len(iw.ch)))
+}
+
+// Flush blocks until every enqueued sub-batch has been applied to its
+// shard. It does NOT merge: the shards still hold their state, and the
+// targets' sketches are only current after a query-driven drain.
+func (sh *Sharded) Flush() {
+	for _, w := range sh.workers {
+		w.ch <- shardMsg{ack: sh.acks}
+	}
+	for range sh.workers {
+		<-sh.acks
+	}
+	mShardFlushes.Inc()
+}
+
+// drain is the lazy recombination: flush, then fold every DIRTY shard
+// into the target streams and reset it. Shards that saw no ops since
+// their last merge are skipped entirely — and within a dirty shard,
+// sketches whose fork epoch is still 0 are skipped too — so the epochs
+// of untouched target sketches never move and their decode caches stay
+// fresh across quiet extractions.
+func (sh *Sharded) drain() {
+	sh.Flush()
+	for wi, w := range sh.workers {
+		if sh.routed[wi] == 0 {
+			continue
+		}
+		t0 := obs.NowNano()
+		for si, s := range sh.ss {
+			s.mergeFork(w.forks[si])
+		}
+		sh.routed[wi] = 0
+		mShardMerges.Inc()
+		mShardMergeNS.ObserveSince(t0)
+	}
+	if obs.Enabled() {
+		mShardImbalance.Set(sh.Imbalance())
+	}
+}
+
+// mergeFork folds a shard fork's sketch state into s and resets the fork
+// in place for its next filling. Only sketches the fork actually updated
+// (epoch > 0) are merged — merging an all-zero sibling adds nothing but
+// would still invalidate s's decode cache for that level.
+func (s *Stream) mergeFork(fork *Stream) {
+	for i := range s.hStore {
+		if s.hStore[i] != nil && fork.hStore[i].Epoch() != 0 {
+			s.hStore[i].Merge(fork.hStore[i])
+			fork.hStore[i].Reset()
+		}
+		if fork.hpStore[i].Epoch() != 0 {
+			s.hpStore[i].Merge(fork.hpStore[i])
+			fork.hpStore[i].Reset()
+		}
+		if fork.hatStore[i].Epoch() != 0 {
+			s.hatStore[i].Merge(fork.hatStore[i])
+			fork.hatStore[i].Reset()
+		}
+	}
+	// fork.n stays 0 — the dispatcher credits net counts to the targets
+	// at Apply time — so there is nothing to add here.
+}
+
+// Imbalance reports the lifetime routing skew: the busiest shard's op
+// count over the ideal per-shard share (1.0 = perfectly balanced). Also
+// exported as the stream_shard_imbalance gauge at every drain.
+func (sh *Sharded) Imbalance() float64 {
+	var max, total int64
+	for _, c := range sh.totalOps {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(sh.totalOps)) / float64(total)
+}
+
+// Result drains the shards into the target state and extracts the
+// coreset — Auto's guess selection, or the single Stream's extraction.
+// Bit-identical to the unsharded path fed the same ops.
+func (sh *Sharded) Result() (*coreset.Coreset, error) {
+	sh.drain()
+	if sh.a != nil {
+		return sh.a.Result()
+	}
+	return sh.ss[0].Result()
+}
+
+// ResultSerial is Result through the single-worker extraction baseline.
+func (sh *Sharded) ResultSerial() (*coreset.Coreset, error) {
+	sh.drain()
+	if sh.a != nil {
+		return sh.a.ResultSerial()
+	}
+	return sh.ss[0].ResultSerial()
+}
+
+// StateDigest drains the shards and digests the merged sketch state —
+// the sharded-vs-serial equivalence check.
+func (sh *Sharded) StateDigest() uint64 {
+	sh.drain()
+	if sh.a != nil {
+		return sh.a.StateDigest()
+	}
+	return sh.ss[0].StateDigest()
+}
+
+// N returns the exact net point count; current without a drain (the
+// dispatcher maintains it at Apply time).
+func (sh *Sharded) N() int64 {
+	if sh.a != nil {
+		return sh.a.n
+	}
+	return sh.ss[0].n
+}
+
+// Bytes reports the total sketch footprint of the front-end: the target
+// state plus every worker shard's private clones — sharding trades a
+// P+1 factor of Theorem 4.5's space for ingest parallelism.
+func (sh *Sharded) Bytes() int64 {
+	var b int64
+	if sh.a != nil {
+		b = sh.a.Bytes()
+	} else {
+		b = sh.ss[0].Bytes()
+	}
+	for _, w := range sh.workers {
+		for _, f := range w.forks {
+			b += f.Bytes()
+		}
+	}
+	return b
+}
+
+// Guesses returns the guess grid when fronting an Auto, nil otherwise.
+func (sh *Sharded) Guesses() []float64 {
+	if sh.a != nil {
+		return sh.a.Guesses()
+	}
+	return nil
+}
+
+// Shards returns the worker count.
+func (sh *Sharded) Shards() int { return len(sh.workers) }
+
+// Close drains outstanding work into the target state and stops the
+// worker goroutines. The wrapped Stream/Auto remains fully usable (and
+// holds everything ingested); the front-end itself must not be used
+// again.
+func (sh *Sharded) Close() {
+	if sh.closed {
+		return
+	}
+	sh.drain()
+	sh.closed = true
+	for _, w := range sh.workers {
+		close(w.ch)
+	}
+	sh.wg.Wait()
+}

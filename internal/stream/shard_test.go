@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"runtime"
+	"testing"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/sketch"
+)
+
+// TestShardedStreamMatchesSerial: sharded ingest + merge must be
+// bit-identical (digest, Bytes, extraction Result incl. FAILs) to serial
+// Apply of the same ops on a single-guess Stream, at every shard count.
+// GOMAXPROCS is raised so the workers genuinely run concurrently even on
+// a single-core machine; under -race this validates that shards share no
+// sketch state.
+func TestShardedStreamMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	ops := shuffledChurnOps(303, 1200)
+	cfg := Config{Dim: 2, Delta: testDelta, O: 1 << 12, Params: coreset.Params{K: 3, Seed: 61}}
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Apply(ops)
+	refDigest := ref.StateDigest()
+
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := ShardStream(s, shards)
+		const chunk = 97 // deliberately unaligned with the op count
+		for i := 0; i < len(ops); i += chunk {
+			end := i + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			sh.Apply(ops[i:end])
+		}
+		if sh.N() != ref.N() {
+			t.Fatalf("shards=%d: N %d vs %d", shards, sh.N(), ref.N())
+		}
+		if got := sh.StateDigest(); got != refDigest {
+			t.Fatalf("shards=%d: sharded state diverged from serial Apply", shards)
+		}
+		if s.Bytes() != ref.Bytes() {
+			t.Fatalf("shards=%d: Bytes %d vs %d", shards, s.Bytes(), ref.Bytes())
+		}
+		ca, errA := ref.Result()
+		cb, errB := sh.Result()
+		sameCoreset(t, ca, cb, errA, errB)
+		sh.Close()
+		// The wrapped Stream holds everything after Close.
+		if s.StateDigest() != refDigest {
+			t.Fatalf("shards=%d: state lost across Close", shards)
+		}
+	}
+}
+
+// TestShardedAutoMatchesSerial: the same contract for the full guess
+// enumeration, including guess selection — the dispatcher keeps the
+// reservoir and cost bound in arrival order, so the selected guess and
+// its coreset match the unsharded ensemble exactly. Queries are
+// interleaved with ingest to exercise merge-accumulate across extraction
+// cycles.
+func TestShardedAutoMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	ops := shuffledChurnOps(404, 900)
+	cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 62},
+		CellSparsity: 512, PointSparsity: 2048, Shards: 4}
+
+	ref, err := NewAuto(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if sh.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want the cfg.Shards knob (4)", sh.Shards())
+	}
+
+	const chunk = 128
+	for i := 0; i < len(ops); i += chunk {
+		end := i + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		ref.Apply(ops[i:end])
+		sh.Apply(ops[i:end])
+		if end == 512 { // mid-stream query: drain, extract, keep ingesting
+			ca, errA := ref.Result()
+			cb, errB := sh.Result()
+			sameCoreset(t, ca, cb, errA, errB)
+		}
+	}
+	if sh.N() != ref.n {
+		t.Fatalf("N %d vs %d", sh.N(), ref.n)
+	}
+	if sh.StateDigest() != ref.StateDigest() {
+		t.Fatal("sharded ensemble state diverged from serial Apply")
+	}
+	ca, errA := ref.Result()
+	cb, errB := sh.Result()
+	sameCoreset(t, ca, cb, errA, errB)
+}
+
+// TestShardedQuietDrainRidesCache: a drain with no new ops must merge
+// nothing — target sketch epochs stay put, so a repeated extraction is
+// answered entirely from the epoch-tagged decode caches.
+func TestShardedQuietDrainRidesCache(t *testing.T) {
+	ops := shuffledChurnOps(505, 800)
+	s, err := New(Config{Dim: 2, Delta: testDelta, O: 1 << 12, Params: coreset.Params{K: 3, Seed: 63}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := ShardStream(s, 3)
+	defer sh.Close()
+	sh.Apply(ops)
+	if _, err := sh.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	epochs := make([]uint64, 0, 3*(s.g.L+1))
+	stats := make([]sketch.CacheStats, 0, 3*(s.g.L+1))
+	each := func(f func(st *sketch.Storing)) {
+		for i := range s.hpStore {
+			if s.hStore[i] != nil {
+				f(s.hStore[i])
+			}
+			f(s.hpStore[i])
+			f(s.hatStore[i])
+		}
+	}
+	each(func(st *sketch.Storing) { epochs = append(epochs, st.Epoch()); stats = append(stats, st.CacheStats()) })
+
+	if _, err := sh.Result(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	each(func(st *sketch.Storing) {
+		if st.Epoch() != epochs[i] {
+			t.Fatalf("quiet drain moved a sketch epoch (%d -> %d): merge was not skipped", epochs[i], st.Epoch())
+		}
+		after := st.CacheStats()
+		if after.Misses != stats[i].Misses || after.Stale != stats[i].Stale || after.MergeDrops != stats[i].MergeDrops {
+			t.Fatalf("quiet re-extraction re-decoded: %+v -> %+v", stats[i], after)
+		}
+		i++
+	})
+
+	// New ops re-dirty exactly the shards that received them; the next
+	// drain merges again and the digest still matches a serial replay.
+	sh.Apply(ops[:100])
+	ref, err := New(Config{Dim: 2, Delta: testDelta, O: 1 << 12, Params: coreset.Params{K: 3, Seed: 63}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Apply(ops)
+	ref.Apply(ops[:100])
+	if sh.StateDigest() != ref.StateDigest() {
+		t.Fatal("post-quiet-period ingest diverged from serial replay")
+	}
+}
+
+// TestShardedImbalance: the lifetime skew statistic is 1.0-ish for a
+// hash-routed mixture and exactly 1 with a single shard.
+func TestShardedImbalance(t *testing.T) {
+	ops := shuffledChurnOps(606, 1000)
+	for _, shards := range []int{1, 4} {
+		s, err := New(Config{Dim: 2, Delta: testDelta, O: 1 << 12, Params: coreset.Params{K: 3, Seed: 64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := ShardStream(s, shards)
+		sh.Apply(ops)
+		sh.Flush()
+		if im := sh.Imbalance(); im < 1 || im > 2 {
+			t.Fatalf("shards=%d: imbalance %v outside [1, 2]", shards, im)
+		}
+		sh.Close()
+	}
+}
