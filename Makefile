@@ -1,4 +1,4 @@
-.PHONY: check check-assign check-dist check-obs check-shard test bench vet
+.PHONY: check check-assign check-dist check-hash check-obs check-shard test bench vet
 
 # Full correctness gate: vet, build everything, then the whole test
 # suite under the race detector — the batched-ingest, parallel-extraction
@@ -36,6 +36,18 @@ check-obs:
 	go test -race ./internal/obs
 	go test -run DisabledOverheadBudget ./internal/obs
 	go test -run xxx -bench 'Disabled' -benchtime 100000x ./internal/obs
+
+# Fast field-kernel/decoder pass: vet the hashing/sketch/grid layers, pin
+# the 4-lane batched kernels (Eval4/EvalN, SampleN, Key4/KeyN,
+# ParentKeys4, UpdateN) and the worklist peeling decoder to their scalar
+# references bit-for-bit under -race, then replay the lane-kernel and
+# decoder fuzz seed corpora. Runs in seconds; CI runs it before the full
+# suite so hot-path kernel regressions fail fast.
+check-hash:
+	go vet ./internal/hashing ./internal/sketch ./internal/grid
+	go test -race -run 'MatchesScalar|MatchesReference|Worklist|InvCountField|DecodeArena|DecodeResults|PureAt|LaneKernels' ./internal/hashing ./internal/sketch ./internal/grid
+	go test -race -run 'FuzzEvalLanesMatchScalar' ./internal/hashing
+	go test -race -run 'FuzzDecodeWorklistMatchesReference' ./internal/sketch
 
 # Fast sharded-ingest pass: vet the sharding packages, pin the Sharded
 # front-end's bit-identity with serial Apply (every shard count, the

@@ -7,7 +7,9 @@
 //
 // -scale multiplies every instance size (use 2–4 for slower, tighter
 // runs); -only restricts to a comma-separated subset of experiment ids.
-// -bench skips the experiment suite and instead measures dynamic-stream
+// -bench skips the experiment suite and instead measures the field-kernel
+// and decoder hot paths (scalar vs 4-lane batched hashing, reference vs
+// worklist peeling decode), dynamic-stream
 // ingest throughput (batched shared-key pipeline vs per-op replay),
 // coreset-extraction throughput (cold parallel decode vs serial vs
 // epoch-cache warm), capacitated-assignment throughput (per-call
@@ -16,7 +18,7 @@
 // driver at 1/4/8 workers, plus measured wire bytes vs the closed-form
 // accounting) and sharded multicore ingest (the worker×GOMAXPROCS grid
 // of the Sharded front-end, re-run at each setting of the -procs
-// matrix), writing the numbers to BENCH_ingest.json,
+// matrix), writing the numbers to BENCH_hash.json, BENCH_ingest.json,
 // BENCH_extract.json, BENCH_assign.json, BENCH_dist.json and
 // BENCH_shard.json for trajectory tracking.
 package main
@@ -39,8 +41,10 @@ import (
 	"streambalance/internal/dist"
 	"streambalance/internal/experiments"
 	"streambalance/internal/geo"
+	"streambalance/internal/hashing"
 	"streambalance/internal/metrics"
 	"streambalance/internal/obs"
+	"streambalance/internal/sketch"
 	"streambalance/internal/solve"
 	"streambalance/internal/workload"
 )
@@ -97,6 +101,150 @@ func runMeta(procsMatrix []int) map[string]any {
 			"concurrency speedups in this file read ~1.0x and reflect algorithmic wins only"
 	}
 	return m
+}
+
+// benchHash measures the GF(2^61−1) kernel and decoder hot paths: the
+// scalar per-key field routines against their 4-lane batched
+// counterparts (KWise.Eval vs EvalN, Bernoulli.Sample vs SampleN,
+// Fingerprint.Key vs KeyN), and the round-based reference peeling
+// decoder against the worklist decoder with a reused arena. Scalar and
+// batched passes are timed round-robin over the same columns (the
+// lane kernels are bit-identical to the scalar routines, so both sides
+// do exactly the same arithmetic). Prints a short report and records it
+// as BENCH_hash.json.
+func benchHash(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	const cols = 1 << 15
+	const lambda = 16
+	keys := make([]uint64, cols)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	dst := make([]uint64, cols)
+	sel := make([]bool, cols)
+	pts := make([][]int64, cols)
+	for i := range pts {
+		pts[i] = []int64{rng.Int63n(1 << 20), rng.Int63n(1 << 20), rng.Int63n(1 << 20), rng.Int63n(1 << 20)}
+	}
+	kw := hashing.NewKWise(rng, lambda)
+	bern := hashing.NewBernoulli(rng, lambda, 0.1)
+	fp := hashing.NewFingerprint(rng)
+
+	// timeBoth runs the two closures round-robin so machine-noise phases
+	// spread over both sides, returning ns/op over rounds×cols ops each.
+	timeBoth := func(rounds int, a, b func()) (nsA, nsB float64) {
+		var ea, eb time.Duration
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			a()
+			ea += time.Since(t0)
+			t0 = time.Now()
+			b()
+			eb += time.Since(t0)
+		}
+		ops := float64(rounds) * cols
+		return ea.Seconds() * 1e9 / ops, eb.Seconds() * 1e9 / ops
+	}
+
+	var sink uint64
+	evalS, evalB := timeBoth(30,
+		func() {
+			for _, k := range keys {
+				sink ^= kw.Eval(k)
+			}
+		},
+		func() { kw.EvalN(dst, keys) })
+	sampS, sampB := timeBoth(30,
+		func() {
+			for i, k := range keys {
+				sel[i] = bern.Sample(k)
+			}
+		},
+		func() { bern.SampleN(sel, keys) })
+	keyS, keyB := timeBoth(10,
+		func() {
+			for _, p := range pts {
+				sink ^= fp.Key(p)
+			}
+		},
+		func() { fp.KeyN(dst, pts) })
+	_ = sink
+
+	kernel := func(name string, s, b float64) map[string]any {
+		return map[string]any{
+			"kernel":            name,
+			"ns_per_op_scalar":  s,
+			"ns_per_op_batched": b,
+			"speedup":           s / b,
+		}
+	}
+	hashRows := []map[string]any{
+		kernel("kwise_eval_lambda16", evalS, evalB),
+		kernel("bernoulli_sample_lambda16", sampS, sampB),
+		kernel("fingerprint_key_dim4", keyS, keyB),
+	}
+
+	// Decode suite: sketches loaded to exactly their sparsity budget, the
+	// regime every successful extraction decode runs in.
+	var decodeRows []map[string]any
+	arena := sketch.NewDecodeArena()
+	for _, s := range []int{64, 1024} {
+		srng := rand.New(rand.NewSource(seed + int64(s)))
+		sr := sketch.NewSparseRecovery(srng, s, 0.01, 2)
+		for i := 0; i < s; i++ {
+			sr.Update(uint64(srng.Int63()), []int64{int64(i), 2}, 1)
+		}
+		rounds := 4096 / s
+		var eRef, eWork time.Duration
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			if _, ok := sr.DecodeReference(); !ok {
+				return fmt.Errorf("reference decode failed at s=%d", s)
+			}
+			eRef += time.Since(t0)
+			t0 = time.Now()
+			if _, ok := sr.DecodeWith(arena); !ok {
+				return fmt.Errorf("worklist decode failed at s=%d", s)
+			}
+			eWork += time.Since(t0)
+		}
+		refNS := eRef.Seconds() * 1e9 / float64(rounds)
+		workNS := eWork.Seconds() * 1e9 / float64(rounds)
+		decodeRows = append(decodeRows, map[string]any{
+			"s":                      s,
+			"ns_per_decode_ref":      refNS,
+			"ns_per_decode_worklist": workNS,
+			"speedup":                refNS / workNS,
+		})
+	}
+
+	rec := map[string]any{
+		"meta":       runMeta(nil),
+		"bench":      "hash_decode",
+		"column_len": cols,
+		"lambda":     lambda,
+		"seed":       seed,
+		"hash":       hashRows,
+		"decode":     decodeRows,
+	}
+	fmt.Printf("hash kernels   (column=%d keys, lambda=%d, GOMAXPROCS=%d)\n", cols, lambda, runtime.GOMAXPROCS(0))
+	for _, r := range hashRows {
+		fmt.Printf("  %-26s: %7.2f ns/op scalar  %7.2f ns/op batched  (%.2fx)\n",
+			r["kernel"], r["ns_per_op_scalar"], r["ns_per_op_batched"], r["speedup"])
+	}
+	for _, r := range decodeRows {
+		fmt.Printf("  decode s=%-4d             : %9.0f ns ref  %9.0f ns worklist  (%.2fx)\n",
+			r["s"], r["ns_per_decode_ref"], r["ns_per_decode_worklist"], r["speedup"])
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_hash.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_hash.json")
+	return nil
 }
 
 // benchIngest measures ingest ops/sec of the guess-enumeration ensemble
@@ -598,14 +746,14 @@ func benchShard(scale float64, seed int64, procs []int) error {
 	baseline := grid[cell{procs[0], 1}]
 	best := grid[cell{maxP, workersLadder[len(workersLadder)-1]}]
 	rec := map[string]any{
-		"meta":     runMeta(procs),
-		"bench":    "stream_shard",
-		"n_ops":    n,
-		"guesses":  guesses,
-		"seed":     seed,
-		"workers":  workersLadder,
-		"procs":    procs,
-		"grid":     rows,
+		"meta":    runMeta(procs),
+		"bench":   "stream_shard",
+		"n_ops":   n,
+		"guesses": guesses,
+		"seed":    seed,
+		"workers": workersLadder,
+		"procs":   procs,
+		"grid":    rows,
 		"aggregate_speedup_8w_maxprocs_over_1w_minprocs": best / baseline,
 	}
 	fmt.Printf("  aggregate: %dw@%dprocs %.2fx over 1w@%dprocs\n", workersLadder[len(workersLadder)-1], maxP, best/baseline, procs[0])
@@ -689,6 +837,10 @@ func main() {
 	}
 
 	if *bench {
+		if err := benchHash(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := benchIngest(*scale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -113,6 +113,28 @@ func (g *Grid) ParentKeys(keys []uint64, idx []int64, level int) {
 	}
 }
 
+// ParentKeys4 is ParentKeys over four index vectors at once: per level
+// it derives the four cell keys through the 4-lane tagged fingerprint
+// kernel (hashing.KeyTagged4), so the four ops' Rabin–Karp chains — the
+// serial-multiply bottleneck of the key column — overlap instead of
+// running back to back. All index vectors are consumed like ParentKeys'
+// idx; k0..k3 must each have length at least level+1. Bit-identical to
+// four ParentKeys calls.
+func (g *Grid) ParentKeys4(k0, k1, k2, k3 []uint64, i0, i1, i2, i3 []int64, level int) {
+	g.checkLevel(level)
+	for i := level; i >= 0; i-- {
+		k0[i], k1[i], k2[i], k3[i] = g.fp.KeyTagged4(int64(i)+2, i0, i1, i2, i3)
+		if i > 0 {
+			for j := range i0 {
+				i0[j] >>= 1
+				i1[j] >>= 1
+				i2[j] >>= 1
+				i3[j] >>= 1
+			}
+		}
+	}
+}
+
 // CellKey returns a 64-bit fingerprint key identifying the level-i cell
 // containing p. Keys are unique across levels (the level is folded into
 // the fingerprint) up to the fingerprint collision bound.

@@ -286,3 +286,37 @@ func TestCellKeyPipelineAllocFree(t *testing.T) {
 		t.Fatalf("cell key pipeline allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+func TestParentKeys4MatchesScalar(t *testing.T) {
+	// The 4-lane key column kernel must be bit-identical to four scalar
+	// ParentKeys walks, including the consumed-index postcondition.
+	g := newTestGrid(t, 1<<10, 3, 31)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		var pts [4]geo.Point
+		var want [4][]uint64
+		var idx [4][]int64
+		var got [4][]uint64
+		for l := 0; l < 4; l++ {
+			pts[l] = geo.Point{rng.Int63n(1 << 10), rng.Int63n(1 << 10), rng.Int63n(1 << 10)}
+			want[l] = make([]uint64, g.L+1)
+			scratch := g.CellIndexInto(nil, pts[l], g.L)
+			g.ParentKeys(want[l], scratch, g.L)
+			idx[l] = g.CellIndexInto(nil, pts[l], g.L)
+			got[l] = make([]uint64, g.L+1)
+		}
+		g.ParentKeys4(got[0], got[1], got[2], got[3], idx[0], idx[1], idx[2], idx[3], g.L)
+		for l := 0; l < 4; l++ {
+			for i := 0; i <= g.L; i++ {
+				if got[l][i] != want[l][i] {
+					t.Fatalf("lane %d level %d: ParentKeys4 %d vs ParentKeys %d", l, i, got[l][i], want[l][i])
+				}
+			}
+			for j, v := range g.CellIndex(pts[l], 0) {
+				if idx[l][j] != v {
+					t.Fatalf("lane %d: consumed idx %v is not the level-0 index", l, idx[l])
+				}
+			}
+		}
+	}
+}

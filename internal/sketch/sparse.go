@@ -69,6 +69,7 @@ func NewSparseRecovery(rng *rand.Rand, s int, delta float64, payloadDim int) *Sp
 	if extra := int(math.Ceil(math.Log2(0.01/delta) / 4)); extra > 0 {
 		rows += extra
 	}
+	invTabOnce.Do(initInvTab) // purity tests use the small-count inverse table
 	sr := &SparseRecovery{
 		s:          s,
 		rows:       rows,
@@ -120,6 +121,70 @@ func (sr *SparseRecovery) Update(key uint64, payload []int64, delta int64) {
 	}
 }
 
+// UpdateN applies a column of updates: x[keys[t]] += deltas[t] with the
+// payload row payload[t*payloadDim:(t+1)*payloadDim] scaled by deltas[t]
+// (payload may be nil when payloadDim == 0). Full 4-lane blocks batch
+// the fingerprint and row-hash evaluations through the interleaved
+// Horner kernels, breaking the per-key multiply dependency chain; the
+// ragged tail runs the scalar Update. Bucket state is a sum of exact
+// field and integer terms, so the result is bit-identical to applying
+// the updates one at a time in any order.
+func (sr *SparseRecovery) UpdateN(keys []uint64, payload []int64, deltas []int64) {
+	n := len(keys)
+	if len(deltas) != n {
+		panic("sketch: UpdateN column length mismatch")
+	}
+	if sr.payloadDim > 0 && len(payload) != n*sr.payloadDim {
+		panic("sketch: UpdateN payload column length mismatch")
+	}
+	pd := sr.payloadDim
+	t := 0
+	for ; t+4 <= n; t += 4 {
+		k0 := hashing.Reduce64(keys[t])
+		k1 := hashing.Reduce64(keys[t+1])
+		k2 := hashing.Reduce64(keys[t+2])
+		k3 := hashing.Reduce64(keys[t+3])
+		f0, f1, f2, f3 := sr.fpHash.Eval4(k0, k1, k2, k3)
+		lk := [4]uint64{k0, k1, k2, k3}
+		lf := [4]uint64{f0, f1, f2, f3}
+		var ldk, ldfp [4]uint64
+		for l := 0; l < 4; l++ {
+			df := hashing.ToField(deltas[t+l])
+			ldk[l] = hashing.MulMod(df, lk[l])
+			ldfp[l] = hashing.MulMod(df, lf[l])
+		}
+		for r := 0; r < sr.rows; r++ {
+			h0, h1, h2, h3 := sr.rowHash[r].Eval4(k0, k1, k2, k3)
+			lc := [4]int{
+				bucketOf(h0, sr.width), bucketOf(h1, sr.width),
+				bucketOf(h2, sr.width), bucketOf(h3, sr.width),
+			}
+			// Sequential writes: two lanes may land in the same bucket,
+			// and exact commutative sums make any write order identical.
+			for l := 0; l < 4; l++ {
+				delta := deltas[t+l]
+				if delta == 0 {
+					continue
+				}
+				b := sr.slab[(r*sr.width+lc[l])*sr.stride:][:sr.stride:sr.stride]
+				b[0] += delta
+				b[1] = int64(hashing.AddMod(uint64(b[1]), ldk[l]))
+				b[2] = int64(hashing.AddMod(uint64(b[2]), ldfp[l]))
+				for j := 0; j < pd; j++ {
+					b[3+j] += delta * payload[(t+l)*pd+j]
+				}
+			}
+		}
+	}
+	for ; t < n; t++ {
+		var row []int64
+		if pd > 0 {
+			row = payload[t*pd : (t+1)*pd]
+		}
+		sr.Update(keys[t], row, deltas[t])
+	}
+}
+
 // Merge adds the state of other into sr. The two sketches must have been
 // created with identical parameters and hash functions (i.e. other must be
 // a Clone sibling); Merge panics on shape mismatch.
@@ -160,7 +225,10 @@ func (sr *SparseRecovery) clone() *SparseRecovery {
 }
 
 // pureAt checks whether the bucket slab words b hold exactly one key and,
-// if so, extracts it.
+// if so, extracts it. Every verification — fingerprint, then payload
+// divisibility — runs before the payload slice is materialized, so an
+// impure candidate costs no allocation (the worklist decoder's pureKeyAt
+// keeps the same ordering).
 func (sr *SparseRecovery) pureAt(b []int64) (Item, bool) {
 	count := b[0]
 	if count == 0 {
@@ -174,24 +242,28 @@ func (sr *SparseRecovery) pureAt(b []int64) (Item, bool) {
 	if hashing.MulMod(cf, sr.fpHash.Eval(key)) != uint64(b[2]) {
 		return Item{}, false
 	}
+	for j := 0; j < sr.payloadDim; j++ {
+		if b[3+j]%count != 0 {
+			return Item{}, false
+		}
+	}
 	var payload []int64
 	if sr.payloadDim > 0 {
 		payload = make([]int64, sr.payloadDim)
 		for j := range payload {
-			if b[3+j]%count != 0 {
-				return Item{}, false
-			}
 			payload[j] = b[3+j] / count
 		}
 	}
 	return Item{Key: key, Count: count, Payload: payload}, true
 }
 
-// Decode recovers the full vector if it is ≤ s sparse. On success it
-// returns all nonzero items; on failure (over-full or an internal hash
-// verification failed) ok is false and items must be ignored. Decode does
-// not modify the sketch.
-func (sr *SparseRecovery) Decode() (items []Item, ok bool) {
+// DecodeReference is the retained scalar reference decoder: full-slab
+// rescan rounds over a cloned working copy, one purity probe per bucket
+// per round. It is the equivalence baseline the worklist decoder
+// (decode.go) is pinned against — bit-identical items, ok-flag and FAIL
+// cases — and is exercised by the check-hash suite and the decode bench;
+// production paths use Decode.
+func (sr *SparseRecovery) DecodeReference() (items []Item, ok bool) {
 	w := sr.clone()
 	for {
 		progress := false

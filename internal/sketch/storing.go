@@ -182,6 +182,38 @@ func (st *Storing) UpdateKeyed(cellKey uint64, cellIdx []int64, pointKey uint64,
 	st.epoch++
 }
 
+// UpdateKeyedN is the columnar form of UpdateKeyed: it applies a batch
+// of keyed updates through the 4-lane sketch kernels
+// (SparseRecovery.UpdateN). cellKeys/cellIdx feed the cell sketch
+// (cellIdx flat, Dim words per update); pointKeys/points feed the point
+// sketch (flat, Dim words per update). A disabled side's columns may be
+// nil; an enabled side's columns must be supplied — single-sided
+// instances (the h/h′/ĥ substreams) pass nil for the other side. All
+// supplied columns must have len(deltas) rows. Exactly-summed sketch
+// state makes the result bit-identical to len(deltas) UpdateKeyed
+// calls; the epoch advances once per non-empty batch.
+func (st *Storing) UpdateKeyedN(cellKeys []uint64, cellIdx []int64, pointKeys []uint64, points []int64, deltas []int64) {
+	if len(deltas) == 0 {
+		return
+	}
+	if st.cells != nil {
+		if cellKeys == nil {
+			panic("sketch: UpdateKeyedN missing cell columns for a cell-recovery instance")
+		}
+		st.cells.UpdateN(cellKeys, cellIdx, deltas)
+	}
+	if st.points != nil {
+		if pointKeys == nil {
+			panic("sketch: UpdateKeyedN missing point columns for a point-recovery instance")
+		}
+		st.points.UpdateN(pointKeys, points, deltas)
+	}
+	for _, d := range deltas {
+		st.netUpdates += d
+	}
+	st.epoch++
+}
+
 // PointKey returns the key UpdateKeyed expects for p — st's point
 // fingerprint, shared across instances built with NewStoringShared.
 func (st *Storing) PointKey(p geo.Point) uint64 { return st.fp.Key(p) }
@@ -210,7 +242,16 @@ func (st *Storing) Digest() uint64 {
 // cache and must be treated as read-only. Result is safe to call from
 // concurrent goroutines on distinct or identical instances, but not
 // concurrently with updates.
-func (st *Storing) Result() (StoringResult, bool) {
+func (st *Storing) Result() (StoringResult, bool) { return st.ResultArena(nil) }
+
+// ResultArena is Result running its sparse-recovery decodes out of the
+// caller's DecodeArena (nil allocates transient scratch) — the
+// extraction pipeline's decode pool keeps one arena per worker so cold
+// decode rounds reuse one working slab instead of cloning per sketch.
+// The cached result never aliases arena memory (DecodeWith returns
+// freshly allocated items), so arenas and caches have independent
+// lifetimes.
+func (st *Storing) ResultArena(a *DecodeArena) (StoringResult, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.cacheValid && st.cacheEpoch == st.epoch {
@@ -226,7 +267,7 @@ func (st *Storing) Result() (StoringResult, bool) {
 		mCacheMiss.Inc()
 	}
 	t0 := obs.NowNano()
-	res, ok := st.decode()
+	res, ok := st.decode(a)
 	mDecodeNS.ObserveSince(t0)
 	if !ok && obs.Enabled() {
 		mDecodeFail.Inc()
@@ -237,11 +278,12 @@ func (st *Storing) Result() (StoringResult, bool) {
 	return res, ok
 }
 
-// decode runs the actual sparse-recovery peel; mu must be held.
-func (st *Storing) decode() (StoringResult, bool) {
+// decode runs the actual sparse-recovery peel; mu must be held. a may
+// be nil (transient scratch).
+func (st *Storing) decode(a *DecodeArena) (StoringResult, bool) {
 	res := StoringResult{Level: st.level}
 	if st.cells != nil {
-		items, ok := st.cells.Decode()
+		items, ok := st.cells.DecodeWith(a)
 		if !ok {
 			return StoringResult{}, false
 		}
@@ -256,7 +298,7 @@ func (st *Storing) decode() (StoringResult, bool) {
 		}
 	}
 	if st.points != nil {
-		pitems, ok := st.points.Decode()
+		pitems, ok := st.points.DecodeWith(a)
 		if !ok {
 			return StoringResult{}, false
 		}

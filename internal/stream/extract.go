@@ -54,6 +54,9 @@ func extractWorkers() int { return runtime.GOMAXPROCS(0) }
 // extraction (or a warm periodic call) spawns no goroutines at all.
 // Each sketch is decoded by exactly one worker and decoding touches only
 // that sketch's state, so the pool needs no locks beyond the barrier.
+// Every worker owns one sketch.DecodeArena for the whole drain — the
+// worklist decoder's slab/queue/mark scratch is reused across all the
+// sketches that worker decodes instead of reallocated per decode.
 func warmStorings(units []*sketch.Storing, workers int) {
 	pending := make([]*sketch.Storing, 0, len(units))
 	for _, st := range units {
@@ -69,8 +72,9 @@ func warmStorings(units []*sketch.Storing, workers int) {
 		workers = len(pending)
 	}
 	if workers <= 1 {
+		arena := sketch.NewDecodeArena()
 		for _, st := range pending {
-			st.Result()
+			st.ResultArena(arena)
 		}
 		return
 	}
@@ -80,12 +84,13 @@ func warmStorings(units []*sketch.Storing, workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := sketch.NewDecodeArena()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pending) {
 					return
 				}
-				pending[i].Result()
+				pending[i].ResultArena(arena)
 			}
 		}()
 	}
@@ -137,6 +142,10 @@ func (s *Stream) resultWith(workers int) (*coreset.Coreset, error) {
 		}
 		sp.End()
 	}()
+	// One decode arena serves every lazy (cache-miss) decode of this
+	// extraction; the warm pools above and below bring their own
+	// per-worker arenas.
+	arena := sketch.NewDecodeArena()
 	// Stage 1: decode every cell sketch the partition stage may consult,
 	// in parallel. The serial assembly below decides lazily which levels
 	// matter; pre-decoding the rest only wastes a bounded peel per sketch
@@ -144,7 +153,7 @@ func (s *Stream) resultWith(workers int) (*coreset.Coreset, error) {
 	if workers > 1 {
 		warmStorings(s.planTargets(nil), workers)
 	}
-	part, pl, err := s.plan()
+	part, pl, err := s.plan(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +173,13 @@ func (s *Stream) resultWith(workers int) (*coreset.Coreset, error) {
 		}
 		warmStorings(units, workers)
 	}
-	return s.assemble(part, pl, needLevel)
+	return s.assemble(part, pl, needLevel, arena)
 }
 
 // plan decodes the h/h′ substreams (lazily, via the epoch caches) and
-// runs Algorithm 1 + Algorithm 2's inclusion plan.
-func (s *Stream) plan() (*partition.Partition, *coreset.Plan, error) {
+// runs Algorithm 1 + Algorithm 2's inclusion plan. Cache-miss decodes
+// run their scratch out of arena.
+func (s *Stream) plan(arena *sketch.DecodeArena) (*partition.Partition, *coreset.Plan, error) {
 	g := s.g
 	p := s.cfg.Params
 
@@ -182,7 +192,7 @@ func (s *Stream) plan() (*partition.Partition, *coreset.Plan, error) {
 	// on the serial path sketches of levels below the deepest heavy cell
 	// — which can be arbitrarily over-full — are never decoded.
 	decodeCells := func(st *sketch.Storing, rate float64) (map[uint64]partition.CellTau, bool) {
-		res, ok := st.Result()
+		res, ok := st.ResultArena(arena)
 		if !ok {
 			return nil, false
 		}
@@ -217,15 +227,16 @@ func (s *Stream) plan() (*partition.Partition, *coreset.Plan, error) {
 }
 
 // assemble recovers the ĥ-substream points of every needed level and
-// keeps those landing in included parts, weighted by 1/φ_i.
-func (s *Stream) assemble(part *partition.Partition, pl *coreset.Plan, needLevel []bool) (*coreset.Coreset, error) {
+// keeps those landing in included parts, weighted by 1/φ_i. Cache-miss
+// decodes run their scratch out of arena.
+func (s *Stream) assemble(part *partition.Partition, pl *coreset.Plan, needLevel []bool, arena *sketch.DecodeArena) (*coreset.Coreset, error) {
 	g := s.g
 	cs := &coreset.Coreset{O: s.cfg.O, Grid: g, Part: part, Plan: pl, Params: s.cfg.Params}
 	for i := 0; i <= g.L; i++ {
 		if !needLevel[i] || s.phi[i] == 0 {
 			continue
 		}
-		res, ok := s.hatStore[i].Result()
+		res, ok := s.hatStore[i].ResultArena(arena)
 		if !ok {
 			return nil, fmt.Errorf("%w: ĥ-substream level %d", ErrSketchFail, i)
 		}

@@ -47,6 +47,14 @@ type batch struct {
 
 // build fills the batch's columns for ops. The grid and fingerprint must
 // be the ones every consuming Stream shares.
+//
+// The two field-arithmetic columns — fingerprint keys and per-level cell
+// keys — run through the 4-lane kernels (hashing.Key4, grid.ParentKeys4):
+// four ops' Rabin–Karp chains are interleaved per block, so the column
+// build is bounded by multiplier throughput rather than the serial
+// multiply latency of one chain. The ragged tail (< 4 ops) takes the
+// scalar path; both paths are bit-identical, so batch boundaries cannot
+// change any key.
 func (b *batch) build(g *grid.Grid, fp *hashing.Fingerprint, ops []Op) {
 	n, dim, L := len(ops), g.Dim, g.L
 	b.ops = ops
@@ -54,18 +62,31 @@ func (b *batch) build(g *grid.Grid, fp *hashing.Fingerprint, ops []Op) {
 	b.fkey = growUint64(b.fkey, n)
 	b.baseIdx = growInt64(b.baseIdx, n*dim)
 	b.cellKey = growUint64(b.cellKey, n*(L+1))
-	scratch := make([]int64, dim)
 	for t := range ops {
-		p := ops[t].P
 		if ops[t].Delete {
 			b.sign[t] = -1
 		} else {
 			b.sign[t] = +1
 		}
-		b.fkey[t] = fp.Key(p)
-		row := g.CellIndexInto(b.baseIdx[t*dim:t*dim], p, L)
-		copy(scratch, row)
-		g.ParentKeys(b.cellKey[t*(L+1):(t+1)*(L+1)], scratch, L)
+		g.CellIndexInto(b.baseIdx[t*dim:t*dim], ops[t].P, L)
+	}
+	scratch := make([]int64, 4*dim)
+	s0, s1, s2, s3 := scratch[0*dim:1*dim], scratch[1*dim:2*dim], scratch[2*dim:3*dim], scratch[3*dim:4*dim]
+	ck := func(t int) []uint64 { return b.cellKey[t*(L+1) : (t+1)*(L+1)] }
+	t := 0
+	for ; t+4 <= n; t += 4 {
+		b.fkey[t], b.fkey[t+1], b.fkey[t+2], b.fkey[t+3] =
+			fp.Key4(ops[t].P, ops[t+1].P, ops[t+2].P, ops[t+3].P)
+		copy(s0, b.baseIdx[(t+0)*dim:])
+		copy(s1, b.baseIdx[(t+1)*dim:])
+		copy(s2, b.baseIdx[(t+2)*dim:])
+		copy(s3, b.baseIdx[(t+3)*dim:])
+		g.ParentKeys4(ck(t), ck(t+1), ck(t+2), ck(t+3), s0, s1, s2, s3, L)
+	}
+	for ; t < n; t++ {
+		b.fkey[t] = fp.Key(ops[t].P)
+		copy(s0, b.baseIdx[t*dim:(t+1)*dim])
+		g.ParentKeys(ck(t), s0, L)
 	}
 }
 
@@ -88,45 +109,78 @@ func growUint64(s []uint64, n int) []uint64 {
 // owns its sketches), so they may run concurrently; the net counter s.n is
 // the caller's responsibility. Level-major order keeps one level's sketch
 // slabs hot in cache across the whole batch.
+//
+// Per level the three samplers run over the whole fingerprint-key column
+// through the 4-lane Bernoulli kernel (SampleN) — the degree-λ Horner
+// chains of four ops overlap instead of serializing — and each
+// substream's selected ops are gathered into contiguous key/payload/delta
+// columns fed to Storing.UpdateKeyedN, which batches the sketch-side row
+// and fingerprint hashing the same way. Sketch state is an exact sum, so
+// the columnar application is bit-identical to the per-op path
+// (TestApplyMatchesPerOp, FuzzShardMerge).
 func (s *Stream) applyLevels(b *batch, lo, hi int) {
 	g := s.g
 	L, dim := g.L, g.Dim
-	idx := make([]int64, dim)
+	n := len(b.ops)
+	// Scratch is per call: applyLevels runs concurrently on disjoint
+	// level ranges of the same Stream, so it cannot live on s.
+	sel := make([]bool, 3*n)
+	selH, selHp, selHat := sel[0:n], sel[n:2*n], sel[2*n:3*n]
+	keys := make([]uint64, 0, n)
+	payload := make([]int64, 0, n*dim)
+	deltas := make([]int64, 0, n)
 	var nSel int64 // sketch updates applied; one atomic add per shard
 	for i := lo; i <= hi; i++ {
-		hS, hpS, hatS := s.hSamp[i], s.hpSamp[i], s.hatSamp[i]
 		sh := uint(L - i)
-		for t := range b.ops {
-			key := b.fkey[t]
-			hSel := i <= L-1 && hS.Sample(key)
-			hpSel := hpS.Sample(key)
-			hatSel := hatS.Sample(key)
-			if !hSel && !hpSel && !hatSel {
-				continue
-			}
-			if hSel || hpSel {
-				base := b.baseIdx[t*dim : (t+1)*dim]
-				for j := 0; j < dim; j++ {
-					idx[j] = base[j] >> sh
-				}
-			}
-			ck := b.cellKey[t*(L+1)+i]
-			p, sign := b.ops[t].P, b.sign[t]
-			if hSel {
-				s.hStore[i].UpdateKeyed(ck, idx, key, p, sign)
-				nSel++
-			}
-			if hpSel {
-				s.hpStore[i].UpdateKeyed(ck, idx, key, p, sign)
-				nSel++
-			}
-			if hatSel {
-				s.hatStore[i].UpdateKeyed(ck, idx, key, p, sign)
-				nSel++
-			}
+		if i <= L-1 {
+			s.hSamp[i].SampleN(selH, b.fkey)
+			keys, payload, deltas = gatherCells(b, selH, i, L, dim, sh, keys[:0], payload[:0], deltas[:0])
+			s.hStore[i].UpdateKeyedN(keys, payload, nil, nil, deltas)
+			nSel += int64(len(deltas))
 		}
+		s.hpSamp[i].SampleN(selHp, b.fkey)
+		keys, payload, deltas = gatherCells(b, selHp, i, L, dim, sh, keys[:0], payload[:0], deltas[:0])
+		s.hpStore[i].UpdateKeyedN(keys, payload, nil, nil, deltas)
+		nSel += int64(len(deltas))
+
+		s.hatSamp[i].SampleN(selHat, b.fkey)
+		keys, payload, deltas = gatherPoints(b, selHat, keys[:0], payload[:0], deltas[:0])
+		s.hatStore[i].UpdateKeyedN(nil, nil, keys, payload, deltas)
+		nSel += int64(len(deltas))
 	}
 	mSketchUpdates.Add(nSel)
+}
+
+// gatherCells packs the cell-sketch update columns for one level out of
+// the sampler's selection mask: the precomputed level-i cell key, the
+// level-i index (base index shifted down), and the op sign.
+func gatherCells(b *batch, sel []bool, level, L, dim int, sh uint, keys []uint64, payload []int64, deltas []int64) ([]uint64, []int64, []int64) {
+	for t := range b.ops {
+		if !sel[t] {
+			continue
+		}
+		keys = append(keys, b.cellKey[t*(L+1)+level])
+		base := b.baseIdx[t*dim : (t+1)*dim]
+		for j := 0; j < dim; j++ {
+			payload = append(payload, base[j]>>sh)
+		}
+		deltas = append(deltas, b.sign[t])
+	}
+	return keys, payload, deltas
+}
+
+// gatherPoints packs the point-sketch update columns: fingerprint key,
+// flattened coordinates, sign.
+func gatherPoints(b *batch, sel []bool, keys []uint64, payload []int64, deltas []int64) ([]uint64, []int64, []int64) {
+	for t := range b.ops {
+		if !sel[t] {
+			continue
+		}
+		keys = append(keys, b.fkey[t])
+		payload = append(payload, b.ops[t].P...)
+		deltas = append(deltas, b.sign[t])
+	}
+	return keys, payload, deltas
 }
 
 // shard is one unit of parallel batch application: a level range of one

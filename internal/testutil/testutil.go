@@ -1,0 +1,27 @@
+// Package testutil holds small helpers shared by test and benchmark
+// files across packages — sub-benchmark naming in particular, which was
+// previously copy-pasted per package.
+package testutil
+
+// BenchName formats a sub-benchmark name like "lambda=16".
+func BenchName(prefix string, v int) string {
+	return prefix + "=" + Itoa(v)
+}
+
+// Itoa converts v to decimal without pulling fmt into bench hot paths.
+func Itoa(v int) string {
+	if v < 0 {
+		return "-" + Itoa(-v)
+	}
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
