@@ -1,10 +1,19 @@
-.PHONY: check check-assign check-dist check-hash check-obs check-shard test bench vet
+.PHONY: check check-assign check-coalesce check-dist check-hash check-obs check-shard test bench bench-json bcbench profile-ingest vet
+
+# Revision stamp for benchmark binaries: BENCH_*.json meta blocks must
+# identify the commit that produced them, and ReadBuildInfo's vcs.*
+# settings are absent from test binaries and some build modes — so the
+# bench/bcbench targets pass the revision explicitly via -ldflags -X
+# (cmd/bcbench falls back to ReadBuildInfo when built without these).
+GIT_REV   := $(shell git -C $(CURDIR) rev-parse HEAD 2>/dev/null || echo unknown)
+GIT_DIRTY := $(shell test -n "$$(git -C $(CURDIR) status --porcelain 2>/dev/null)" && echo true || echo false)
+STAMP_LDFLAGS := -X main.buildRevision=$(GIT_REV) -X main.buildDirty=$(GIT_DIRTY)
 
 # Full correctness gate: vet, build everything, then the whole test
 # suite under the race detector — the batched-ingest, parallel-extraction
 # and assignment-engine equivalence tests only mean something with -race
 # on. CI runs check-assign first (fast fail), then this.
-check:
+check: check-coalesce
 	go vet ./...
 	go build ./...
 	go test -race ./...
@@ -15,6 +24,18 @@ check:
 # runs it before the full suite so engine regressions fail fast.
 check-assign:
 	go test -short -race -run 'Assign|DistRMatrix' ./internal/flow ./internal/geo ./internal/assign ./internal/experiments
+
+# Fast ingest-coalescing pass: vet the ingest stack, pin the key
+# coalescer and the bucket-ordered UpdateN/UpdateScaledN kernels to the
+# per-op scatter path bit-for-bit under -race (including the
+# duplicate-heavy batch shapes and the columnar CellIndexN), then replay
+# the FuzzCoalescedIngestMatchesSerial seed corpus. Runs in a couple of
+# minutes; CI runs it before the full suite so ingest-write-path
+# regressions fail fast.
+check-coalesce:
+	go vet ./internal/stream ./internal/sketch ./internal/grid
+	go test -race -run 'Coalesce|Scaled|Ordered|CellIndexN|DuplicateHeavy' ./internal/stream ./internal/sketch ./internal/grid
+	go test -race -run 'FuzzCoalescedIngestMatchesSerial' ./internal/stream
 
 # Fast distributed-protocol pass: vet the protocol packages and pin the
 # wire codec, both transports, the pipelined driver's bit-identity with
@@ -70,3 +91,17 @@ vet:
 # (EXPERIMENTS.md records the reference runs).
 bench:
 	go test -run xxx -bench 'Ingest|Extract|AssignSweep' -benchmem ./internal/stream/ .
+
+# Revision-stamped bcbench binary (see STAMP_LDFLAGS above).
+bcbench:
+	go build -ldflags "$(STAMP_LDFLAGS)" -o bin/bcbench ./cmd/bcbench
+
+# Regenerate every BENCH_*.json with a stamped binary, so the meta block
+# records the producing commit instead of "unknown".
+bench-json: bcbench
+	./bin/bcbench -bench
+
+# CPU profile of the batched ingest benchmark, for the next pprof-driven
+# optimisation round: `go tool pprof ingest_cpu.pprof`.
+profile-ingest:
+	go test -run xxx -bench 'IngestAutoApply$$' -benchtime 30x -cpuprofile $(CURDIR)/ingest_cpu.pprof ./internal/stream

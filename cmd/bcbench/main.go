@@ -46,6 +46,7 @@ import (
 	"streambalance/internal/obs"
 	"streambalance/internal/sketch"
 	"streambalance/internal/solve"
+	"streambalance/internal/stream"
 	"streambalance/internal/workload"
 )
 
@@ -62,6 +63,18 @@ import (
 // in a 1-CPU container, where worker-pool speedups read ~1.0× no matter
 // what the code does, and a consumer comparing files must be able to
 // tell those runs apart from real multicore ones.
+// buildRevision and buildDirty are stamped by the Makefile bench/bcbench
+// targets via -ldflags "-X main.buildRevision=... -X main.buildDirty=...".
+// `go build` embeds vcs.* build settings only for package main of the
+// containing module root, and test binaries / direct `go run` invocations
+// often report nothing — the explicit stamp makes BENCH_*.json meta
+// blocks identify their commit regardless of how the binary was built,
+// with ReadBuildInfo retained as the fallback.
+var (
+	buildRevision string
+	buildDirty    string
+)
+
 func runMeta(procsMatrix []int) map[string]any {
 	rev, dirty := "unknown", false
 	if bi, ok := debug.ReadBuildInfo(); ok {
@@ -73,6 +86,12 @@ func runMeta(procsMatrix []int) map[string]any {
 				dirty = s.Value == "true"
 			}
 		}
+	}
+	if buildRevision != "" {
+		rev = buildRevision
+	}
+	if buildDirty != "" {
+		dirty = buildDirty == "true"
 	}
 	if len(procsMatrix) == 0 {
 		procsMatrix = []int{runtime.GOMAXPROCS(0)}
@@ -277,36 +296,87 @@ func benchIngest(scale float64, seed int64) error {
 	}
 	perOpSec := float64(n) / time.Since(t0).Seconds()
 
-	batched := newAuto()
 	ops := make([]streambalance.Op, n)
 	for i, p := range ps {
 		ops[i] = streambalance.Op{P: p}
 	}
 	const batchSize = 4096
-	t0 = time.Now()
-	for i := 0; i < n; i += batchSize {
-		end := i + batchSize
-		if end > n {
-			end = n
+	applyBatched := func(ops []streambalance.Op) float64 {
+		a := newAuto()
+		t0 := time.Now()
+		for i := 0; i < len(ops); i += batchSize {
+			end := i + batchSize
+			if end > len(ops) {
+				end = len(ops)
+			}
+			a.Apply(ops[i:end])
 		}
-		batched.Apply(ops[i:end])
+		return float64(len(ops)) / time.Since(t0).Seconds()
 	}
-	batchedSec := float64(n) / time.Since(t0).Seconds()
+
+	// A/B over the key-coalescing stage (bit-identical paths; the knob
+	// only changes the write schedule).
+	batchedSec := applyBatched(ops)
+	prevCo := stream.SetCoalesce(false)
+	uncoalescedSec := applyBatched(ops)
+	stream.SetCoalesce(prevCo)
+
+	// Duplicate-heavy variant: every op replayed 8× back to back — the
+	// coarse-level shape where coalescing collapses whole batches.
+	dup8 := make([]streambalance.Op, 0, 8*len(ops))
+	for _, op := range ops {
+		for r := 0; r < 8; r++ {
+			dup8 = append(dup8, op)
+		}
+	}
+	dup8Sec := applyBatched(dup8)
+	prevCo = stream.SetCoalesce(false)
+	dup8UncoalescedSec := applyBatched(dup8)
+	stream.SetCoalesce(prevCo)
+
+	// Coalesce ratios, measured in a separate untimed pass so the timed
+	// runs above never pay for telemetry.
+	obs.Default.Reset()
+	obs.Enable()
+	applyBatched(ops)
+	ratios := map[string]float64{}
+	for _, sub := range []string{"h", "hp", "hat"} {
+		ratios[sub] = obs.Default.Ratio(
+			`stream_coalesce_ops_in_total{substream="`+sub+`"}`,
+			`stream_coalesce_keys_out_total{substream="`+sub+`"}`)
+	}
+	obs.Disable()
+
+	scatterSec, orderedSec := benchSketchUpdateN(seed)
 
 	rec := map[string]any{
-		"meta":                runMeta(nil),
-		"bench":               "stream_ingest",
-		"n_ops":               n,
-		"guesses":             len(serial.Guesses()),
-		"gomaxprocs":          runtime.GOMAXPROCS(0),
-		"seed":                seed,
-		"ops_per_sec_per_op":  perOpSec,
-		"ops_per_sec_batched": batchedSec,
-		"speedup":             batchedSec / perOpSec,
+		"meta":                            runMeta(nil),
+		"bench":                           "stream_ingest",
+		"n_ops":                           n,
+		"guesses":                         len(serial.Guesses()),
+		"gomaxprocs":                      runtime.GOMAXPROCS(0),
+		"seed":                            seed,
+		"ops_per_sec_per_op":              perOpSec,
+		"ops_per_sec_batched":             batchedSec,
+		"ops_per_sec_batched_uncoalesced": uncoalescedSec,
+		"ops_per_sec_dup8":                dup8Sec,
+		"ops_per_sec_dup8_uncoalesced":    dup8UncoalescedSec,
+		"speedup":                         batchedSec / perOpSec,
+		"coalesce_speedup":                batchedSec / uncoalescedSec,
+		"coalesce_ratio":                  ratios,
+		"sketch_updates_per_sec_scatter":  scatterSec,
+		"sketch_updates_per_sec_ordered":  orderedSec,
 	}
 	fmt.Printf("stream ingest  (n=%d ops, %d guesses, GOMAXPROCS=%d)\n", n, len(serial.Guesses()), runtime.GOMAXPROCS(0))
-	fmt.Printf("  per-op  : %12.0f ops/sec\n", perOpSec)
-	fmt.Printf("  batched : %12.0f ops/sec  (%.2fx)\n", batchedSec, batchedSec/perOpSec)
+	fmt.Printf("  per-op            : %12.0f ops/sec\n", perOpSec)
+	fmt.Printf("  batched           : %12.0f ops/sec  (%.2fx)\n", batchedSec, batchedSec/perOpSec)
+	fmt.Printf("  batched, no-coal  : %12.0f ops/sec  (coalesce %.2fx)\n", uncoalescedSec, batchedSec/uncoalescedSec)
+	fmt.Printf("  dup8              : %12.0f ops/sec  (vs %.0f uncoalesced, %.2fx)\n",
+		dup8Sec, dup8UncoalescedSec, dup8Sec/dup8UncoalescedSec)
+	fmt.Printf("  coalesce ratio    : h=%.1f hp=%.1f hat=%.1f (ops in / keys out)\n",
+		ratios["h"], ratios["hp"], ratios["hat"])
+	fmt.Printf("  sketch UpdateN    : %12.0f upd/sec scatter, %.0f ordered (%.2fx)\n",
+		scatterSec, orderedSec, orderedSec/scatterSec)
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -316,6 +386,53 @@ func benchIngest(scale float64, seed int64) error {
 	}
 	fmt.Println("  wrote BENCH_ingest.json")
 	return nil
+}
+
+// benchSketchUpdateN isolates the sketch-level write schedule: an
+// ensemble of s-sparse recovery sketches (s=2048, payload dim 2 — the
+// point-sketch shape of the ingest bench config, whose ~650 KB slabs
+// dominate the ensemble's slab bytes) fed 4096-row batches through
+// UpdateN with bucket-ordered application off (4-lane scatter) and on.
+// The batch round-robins across the ensemble so every slab visit starts
+// cold, like the real ingest fan-out over ~25 guess instances × levels ×
+// substreams — hammering one hot slab would hide exactly the misses the
+// ordered schedule removes. Both schedules are bit-identical; the delta
+// is pure slab cache locality. Returns updates/sec for (scatter,
+// ordered).
+func benchSketchUpdateN(seed int64) (scatterSec, orderedSec float64) {
+	const s, pd, n, sketches, rounds = 2048, 2, 4096, 64, 3
+	rng := rand.New(rand.NewSource(seed))
+	ens := make([]*sketch.SparseRecovery, sketches)
+	for i := range ens {
+		ens[i] = sketch.NewSparseRecovery(rng, s, 0.01, pd)
+	}
+	keys := make([]uint64, n)
+	payload := make([]int64, n*pd)
+	deltas := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		deltas[i] = 1
+		payload[i*pd] = rng.Int63n(1 << 12)
+		payload[i*pd+1] = rng.Int63n(1 << 12)
+	}
+	run := func(ordered bool) float64 {
+		prev := sketch.SetBucketOrder(ordered)
+		defer sketch.SetBucketOrder(prev)
+		for _, sr := range ens {
+			sr.Reset()
+		}
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, sr := range ens {
+				sr.UpdateN(keys, payload, deltas)
+			}
+		}
+		return float64(n*sketches*rounds) / time.Since(t0).Seconds()
+	}
+	run(false) // warm the page tables and scratch allocations
+	scatterSec = run(false)
+	orderedSec = run(true)
+	return
 }
 
 // benchExtract measures coreset-extraction throughput over the guess

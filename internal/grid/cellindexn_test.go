@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/geo"
+)
+
+func TestCellIndexNMatchesScalar(t *testing.T) {
+	g := newTestGrid(t, 1<<10, 3, 41)
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 7, 256} {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{rng.Int63n(1 << 10), rng.Int63n(1 << 10), rng.Int63n(1 << 10)}
+		}
+		dst := make([]int64, n*g.Dim)
+		for level := -1; level <= g.L; level++ {
+			g.CellIndexN(dst, pts, level)
+			for i, p := range pts {
+				want := g.CellIndex(p, level)
+				for j := range want {
+					if dst[i*g.Dim+j] != want[j] {
+						t.Fatalf("n=%d level=%d point %d: column %v vs scalar %v",
+							n, level, i, dst[i*g.Dim:(i+1)*g.Dim], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellIndexNPanics(t *testing.T) {
+	g := newTestGrid(t, 1<<6, 2, 43)
+	pts := []geo.Point{{1, 2}, {3, 4}}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("short dst", func() { g.CellIndexN(make([]int64, 3), pts, 0) })
+	mustPanic("bad level", func() { g.CellIndexN(make([]int64, 4), pts, g.L+1) })
+	mustPanic("bad dim", func() { g.CellIndexN(make([]int64, 4), []geo.Point{{1, 2, 3}}, 0) })
+}
+
+// TestCellIndexNNoAlloc pins both the retained checked scalar API
+// (CellIndexInto with pre-capacity dst) and the columnar CellIndexN at
+// 0 allocs/op — the satellite contract for hoisting the per-call
+// validation out of the hot loop without changing external callers.
+func TestCellIndexNNoAlloc(t *testing.T) {
+	g := newTestGrid(t, 1<<12, 4, 44)
+	pts := make([]geo.Point, 64)
+	rng := rand.New(rand.NewSource(45))
+	for i := range pts {
+		pts[i] = geo.Point{rng.Int63n(1 << 12), rng.Int63n(1 << 12), rng.Int63n(1 << 12), rng.Int63n(1 << 12)}
+	}
+	dst := make([]int64, len(pts)*g.Dim)
+	scalar := make([]int64, 0, g.Dim)
+	if allocs := testing.AllocsPerRun(100, func() {
+		scalar = g.CellIndexInto(scalar[:0], pts[0], g.L)
+	}); allocs != 0 {
+		t.Fatalf("CellIndexInto allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		g.CellIndexN(dst, pts, g.L)
+	}); allocs != 0 {
+		t.Fatalf("CellIndexN allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCellIndexN measures the columnar kernel against the scalar
+// loop it replaced in batch.build (BenchmarkCellIndexNScalarLoop).
+func BenchmarkCellIndexN(b *testing.B) {
+	g := New(1<<16, 4, rand.New(rand.NewSource(46)))
+	rng := rand.New(rand.NewSource(47))
+	pts := make([]geo.Point, 4096)
+	for i := range pts {
+		pts[i] = geo.Point{rng.Int63n(1 << 16), rng.Int63n(1 << 16), rng.Int63n(1 << 16), rng.Int63n(1 << 16)}
+	}
+	dst := make([]int64, len(pts)*g.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CellIndexN(dst, pts, g.L)
+	}
+}
+
+func BenchmarkCellIndexNScalarLoop(b *testing.B) {
+	g := New(1<<16, 4, rand.New(rand.NewSource(46)))
+	rng := rand.New(rand.NewSource(47))
+	pts := make([]geo.Point, 4096)
+	for i := range pts {
+		pts[i] = geo.Point{rng.Int63n(1 << 16), rng.Int63n(1 << 16), rng.Int63n(1 << 16), rng.Int63n(1 << 16)}
+	}
+	dst := make([]int64, 0, len(pts)*g.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		for _, p := range pts {
+			dst = g.CellIndexInto(dst, p, g.L)
+		}
+	}
+}

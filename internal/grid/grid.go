@@ -87,6 +87,33 @@ func (g *Grid) CellIndexInto(dst []int64, p geo.Point, level int) []int64 {
 	return dst
 }
 
+// CellIndexN fills dst[t*Dim : (t+1)*Dim] with the level-i cell index of
+// pts[t] for every point — the columnar form of CellIndexInto for the
+// batched ingestion pipeline. The level range and the destination length
+// are validated once per batch instead of once per point, and the inner
+// loop is pure shift-add arithmetic; per-point dimension mismatches
+// still panic (the check is a single compare). Bit-identical to
+// len(pts) CellIndexInto calls, with the checked scalar API retained
+// for external callers (TestCellIndexNNoAlloc pins both at 0 allocs).
+func (g *Grid) CellIndexN(dst []int64, pts []geo.Point, level int) {
+	g.checkLevel(level)
+	d := g.Dim
+	if len(dst) < len(pts)*d {
+		panic(fmt.Sprintf("grid: CellIndexN dst length %d < %d points × dim %d", len(dst), len(pts), d))
+	}
+	b := g.shiftBits(level)
+	shift := g.Shift
+	for t, p := range pts {
+		if len(p) != d {
+			panic(fmt.Sprintf("grid: point dim %d != grid dim %d", len(p), d))
+		}
+		o := t * d
+		for j := 0; j < d; j++ {
+			dst[o+j] = (p[j] + shift[j]) >> b
+		}
+	}
+}
+
 // ParentIndex maps a level-i cell index to its level-(i−1) parent index.
 func ParentIndex(idx []int64) []int64 {
 	out := make([]int64, len(idx))

@@ -1,0 +1,20 @@
+package obs
+
+import "testing"
+
+func TestRegistryRatio(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Ratio("in", "out"); got != 0 {
+		t.Fatalf("ratio of unregistered counters = %v, want 0", got)
+	}
+	Enable()
+	defer Disable()
+	r.Counter("in").Add(12)
+	if got := r.Ratio("in", "out"); got != 0 {
+		t.Fatalf("ratio with zero denominator = %v, want 0", got)
+	}
+	r.Counter("out").Add(4)
+	if got := r.Ratio("in", "out"); got != 3 {
+		t.Fatalf("ratio = %v, want 3", got)
+	}
+}

@@ -89,6 +89,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Ratio returns the quotient of two registered counters, num/den, or 0
+// when the denominator is zero or either counter is unregistered. It is
+// the read-side helper for paired in/out counters — e.g. the ingest
+// coalesce ratio stream_coalesce_ops_in_total{...} over
+// stream_coalesce_keys_out_total{...} (DESIGN.md §12) — so CLI dumps and
+// benches report the derived ratio without re-implementing the lookup.
+func (r *Registry) Ratio(num, den string) float64 {
+	r.mu.Lock()
+	n, d := r.counters[num], r.counters[den]
+	r.mu.Unlock()
+	dv := d.Load()
+	if dv == 0 {
+		return 0
+	}
+	return float64(n.Load()) / float64(dv)
+}
+
 // Reset zeroes every registered metric (the metrics stay registered and
 // previously returned handles stay valid). Tests and per-run CLI dumps
 // use it to measure deltas.

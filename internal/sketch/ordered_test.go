@@ -1,0 +1,186 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBatch builds n (key, payload, delta) columns with nKeys distinct
+// keys (duplicates guaranteed when n > nKeys) and deltas in [-3, 3]
+// including zero.
+func randBatch(rng *rand.Rand, n, nKeys, pd int) (keys []uint64, payload []int64, deltas []int64) {
+	pool := make([]uint64, nKeys)
+	for i := range pool {
+		pool[i] = rng.Uint64()
+	}
+	keys = make([]uint64, n)
+	deltas = make([]int64, n)
+	if pd > 0 {
+		payload = make([]int64, n*pd)
+	}
+	for t := 0; t < n; t++ {
+		keys[t] = pool[rng.Intn(nKeys)]
+		deltas[t] = int64(rng.Intn(7)) - 3
+		for j := 0; j < pd; j++ {
+			payload[t*pd+j] = int64(rng.Intn(2001)) - 1000
+		}
+	}
+	return
+}
+
+// TestUpdateNOrderedMatchesScatter pins the bucket-ordered kernel against
+// the per-op and 4-lane scatter paths: for batch sizes on both sides of
+// the orderedMinRows threshold, payload dims 0 and 2, and deltas spanning
+// negative and zero, all three write schedules must leave bit-identical
+// slabs.
+func TestUpdateNOrderedMatchesScatter(t *testing.T) {
+	for _, pd := range []int{0, 2} {
+		for _, n := range []int{1, 3, orderedMinRows - 1, orderedMinRows, 257, 1024} {
+			rng := rand.New(rand.NewSource(int64(1000*pd + n)))
+			base := NewSparseRecovery(rand.New(rand.NewSource(7)), 32, 0.01, pd)
+			keys, payload, deltas := randBatch(rng, n, 5+rng.Intn(n+1), pd)
+
+			perOp := base.CloneEmpty()
+			for i := 0; i < n; i++ {
+				var row []int64
+				if pd > 0 {
+					row = payload[i*pd : (i+1)*pd]
+				}
+				perOp.Update(keys[i], row, deltas[i])
+			}
+
+			ordered := base.CloneEmpty()
+			prev := SetBucketOrder(true)
+			ordered.UpdateN(keys, payload, deltas)
+			SetBucketOrder(false)
+			lanes := base.CloneEmpty()
+			lanes.UpdateN(keys, payload, deltas)
+			SetBucketOrder(prev)
+
+			if d1, d2 := perOp.Digest(), ordered.Digest(); d1 != d2 {
+				t.Fatalf("pd=%d n=%d: ordered digest %x != per-op %x", pd, n, d2, d1)
+			}
+			if d1, d2 := perOp.Digest(), lanes.Digest(); d1 != d2 {
+				t.Fatalf("pd=%d n=%d: lanes digest %x != per-op %x", pd, n, d2, d1)
+			}
+		}
+	}
+}
+
+// TestUpdateScaledNMatchesUpdateN verifies the pre-aggregated entry
+// point: manually coalescing a batch by key (summing deltas and
+// delta-scaled payload rows) and feeding the sums through UpdateScaledN
+// must be bit-identical to the raw batch through UpdateN — including
+// coalesced rows whose delta sum cancels to zero while the payload sum
+// does not, the case a naive zero-delta skip would drop.
+func TestUpdateScaledNMatchesUpdateN(t *testing.T) {
+	const pd = 3
+	for _, n := range []int{2, 16, orderedMinRows * 4} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		base := NewSparseRecovery(rand.New(rand.NewSource(11)), 24, 0.01, pd)
+		keys, payload, deltas := randBatch(rng, n, 1+n/4, pd)
+		// Force a zero-sum key with non-cancelling payload: +1 with payload
+		// p and -1 with payload q != p.
+		keys = append(keys, 0xdeadbeef, 0xdeadbeef)
+		payload = append(payload, 5, 6, 7, 1, 2, 3)
+		deltas = append(deltas, 1, -1)
+
+		raw := base.CloneEmpty()
+		raw.UpdateN(keys, payload, deltas)
+
+		// Coalesce by key in first-occurrence order, exactly as the ingest
+		// coalescer does.
+		idx := make(map[uint64]int)
+		var cKeys []uint64
+		var cScaled, cDeltas []int64
+		for t := range keys {
+			i, seen := idx[keys[t]]
+			if !seen {
+				i = len(cKeys)
+				idx[keys[t]] = i
+				cKeys = append(cKeys, keys[t])
+				cScaled = append(cScaled, make([]int64, pd)...)
+				cDeltas = append(cDeltas, 0)
+			}
+			cDeltas[i] += deltas[t]
+			for j := 0; j < pd; j++ {
+				cScaled[i*pd+j] += deltas[t] * payload[t*pd+j]
+			}
+		}
+
+		for _, ordered := range []bool{true, false} {
+			co := base.CloneEmpty()
+			prev := SetBucketOrder(ordered)
+			co.UpdateScaledN(cKeys, cScaled, cDeltas)
+			SetBucketOrder(prev)
+			if d1, d2 := raw.Digest(), co.Digest(); d1 != d2 {
+				t.Fatalf("n=%d ordered=%v: coalesced digest %x != raw %x", n, ordered, d2, d1)
+			}
+		}
+	}
+}
+
+// TestUpdateNDuplicateHeavyBatch is the dedicated duplicate-heavy
+// equivalence case: a large batch concentrated on a handful of keys (the
+// coarse-grid-level shape that motivates coalescing) must decode to the
+// same items whether applied per-op, bucket-ordered, or via the scatter
+// lanes — and the slabs must be bit-identical.
+func TestUpdateNDuplicateHeavyBatch(t *testing.T) {
+	const n, nKeys, pd = 4096, 7, 2
+	rng := rand.New(rand.NewSource(99))
+	base := NewSparseRecovery(rand.New(rand.NewSource(13)), 16, 0.001, pd)
+	keys, payload, deltas := randBatch(rng, n, nKeys, pd)
+	// Keep net counts nonzero so Decode has something to recover.
+	for i := 0; i < nKeys; i++ {
+		keys = append(keys, keys[i])
+		payload = append(payload, int64(i), int64(-i))
+		deltas = append(deltas, int64(100+i))
+	}
+
+	perOp := base.CloneEmpty()
+	for i := range keys {
+		perOp.Update(keys[i], payload[i*pd:(i+1)*pd], deltas[i])
+	}
+	wantItems, wantOK := perOp.Decode()
+
+	for _, ordered := range []bool{true, false} {
+		got := base.CloneEmpty()
+		prev := SetBucketOrder(ordered)
+		got.UpdateN(keys, payload, deltas)
+		SetBucketOrder(prev)
+		if d1, d2 := perOp.Digest(), got.Digest(); d1 != d2 {
+			t.Fatalf("ordered=%v: digest %x != per-op %x", ordered, d2, d1)
+		}
+		items, ok := got.Decode()
+		if ok != wantOK || len(items) != len(wantItems) {
+			t.Fatalf("ordered=%v: decode ok=%v n=%d, want ok=%v n=%d",
+				ordered, ok, len(items), wantOK, len(wantItems))
+		}
+	}
+}
+
+// TestUpdateNReusedScratchIndependent runs two different batches back to
+// back through one sketch's ordered kernel and checks the reused scratch
+// buffers leak nothing between calls (second batch smaller than first).
+func TestUpdateNReusedScratchIndependent(t *testing.T) {
+	const pd = 1
+	base := NewSparseRecovery(rand.New(rand.NewSource(21)), 16, 0.01, pd)
+	rng := rand.New(rand.NewSource(22))
+	k1, p1, d1 := randBatch(rng, 512, 9, pd)
+	k2, p2, d2 := randBatch(rng, orderedMinRows+5, 3, pd)
+
+	seq := base.CloneEmpty()
+	seq.UpdateN(k1, p1, d1)
+	seq.UpdateN(k2, p2, d2)
+
+	perOp := base.CloneEmpty()
+	for i := range k1 {
+		perOp.Update(k1[i], p1[i*pd:(i+1)*pd], d1[i])
+	}
+	for i := range k2 {
+		perOp.Update(k2[i], p2[i*pd:(i+1)*pd], d2[i])
+	}
+	if a, b := seq.Digest(), perOp.Digest(); a != b {
+		t.Fatalf("sequential batches digest %x != per-op %x", a, b)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync/atomic"
 
 	"streambalance/internal/hashing"
 )
@@ -49,6 +50,72 @@ type SparseRecovery struct {
 	fpHash  *hashing.KWise   // key fingerprint shared by all rows
 
 	slab []int64 // rows × width buckets, stride words each
+
+	scr *updScratch // lazily allocated batch-kernel scratch; never shared
+}
+
+// updScratch holds the reusable buffers of the bucket-ordered batch
+// kernel (updateOrderedN). It is private to one SparseRecovery — updates
+// must not run concurrently on one sketch (the Storing contract), and
+// CloneEmpty/clone never share it — so no synchronization is needed.
+type updScratch struct {
+	rk   []uint64 // reduced keys
+	fe   []uint64 // fingerprint evaluations
+	dk   []uint64 // ToField(delta)·key terms
+	dfp  []uint64 // ToField(delta)·fp(key) terms
+	he   []uint64 // row-hash evaluations, one row at a time
+	bkt  []int32  // bucket target per item for the current row
+	perm []int32  // counting-sort permutation (bucket-ascending item order)
+	cnt  []int32  // per-bucket counters / running positions, width entries
+}
+
+func (sr *SparseRecovery) scratch(n int) *updScratch {
+	s := sr.scr
+	if s == nil {
+		s = new(updScratch)
+		sr.scr = s
+	}
+	if cap(s.rk) < n {
+		s.rk = make([]uint64, n)
+		s.fe = make([]uint64, n)
+		s.dk = make([]uint64, n)
+		s.dfp = make([]uint64, n)
+		s.he = make([]uint64, n)
+		s.bkt = make([]int32, n)
+		s.perm = make([]int32, n)
+	}
+	if cap(s.cnt) < sr.width {
+		s.cnt = make([]int32, sr.width)
+	}
+	return s
+}
+
+// bucketOrderOn gates the bucket-ordered application mode of
+// UpdateN/UpdateScaledN (on by default). Both modes are bit-identical —
+// exact commutative sums make write order irrelevant — so the knob is
+// purely a perf A/B switch for benchmarks and the equivalence tests.
+var bucketOrderOn = func() *atomic.Bool {
+	var b atomic.Bool
+	b.Store(true)
+	return &b
+}()
+
+// SetBucketOrder enables or disables bucket-ordered batch application,
+// returning the previous setting. Safe to call between batches; both
+// settings produce bit-identical sketch state.
+func SetBucketOrder(on bool) bool { return bucketOrderOn.Swap(on) }
+
+// orderedMinRows is the batch size below which the bucket-ordering
+// pass (hash columns + per-row counting sort) costs more than the
+// cache locality it buys; small batches take the 4-lane scatter path.
+const orderedMinRows = 64
+
+// useOrdered reports whether a batch of n updates should go through the
+// bucket-ordered kernel: the batch must be large in absolute terms and
+// relative to the bucket row (zeroing width counters per row has to
+// amortize over the items).
+func (sr *SparseRecovery) useOrdered(n int) bool {
+	return n >= orderedMinRows && n*8 >= sr.width && bucketOrderOn.Load()
 }
 
 // NewSparseRecovery creates a sketch that recovers any vector with at most
@@ -123,12 +190,13 @@ func (sr *SparseRecovery) Update(key uint64, payload []int64, delta int64) {
 
 // UpdateN applies a column of updates: x[keys[t]] += deltas[t] with the
 // payload row payload[t*payloadDim:(t+1)*payloadDim] scaled by deltas[t]
-// (payload may be nil when payloadDim == 0). Full 4-lane blocks batch
-// the fingerprint and row-hash evaluations through the interleaved
-// Horner kernels, breaking the per-key multiply dependency chain; the
-// ragged tail runs the scalar Update. Bucket state is a sum of exact
-// field and integer terms, so the result is bit-identical to applying
-// the updates one at a time in any order.
+// (payload may be nil when payloadDim == 0). Bucket state is a sum of
+// exact field and integer terms, so the result is bit-identical to
+// applying the updates one at a time in any order — which frees the
+// implementation to pick its write schedule: large batches go through
+// the bucket-ordered kernel (updateOrderedN), whose slab writes run
+// row-major in bucket-sorted order instead of scattering, and small
+// batches through the 4-lane scatter path (updateLanesN).
 func (sr *SparseRecovery) UpdateN(keys []uint64, payload []int64, deltas []int64) {
 	n := len(keys)
 	if len(deltas) != n {
@@ -137,6 +205,25 @@ func (sr *SparseRecovery) UpdateN(keys []uint64, payload []int64, deltas []int64
 	if sr.payloadDim > 0 && len(payload) != n*sr.payloadDim {
 		panic("sketch: UpdateN payload column length mismatch")
 	}
+	if sr.useOrdered(n) {
+		sr.updateOrderedN(keys, payload, deltas, false)
+		return
+	}
+	sr.updateLanesN(keys, payload, deltas, false)
+}
+
+// updateLanesN is the 4-lane scatter path of UpdateN and UpdateScaledN:
+// full blocks batch the fingerprint and row-hash evaluations through the
+// interleaved Horner kernels, breaking the per-key multiply dependency
+// chain; the ragged tail runs the scalar Update/updateScaled. Slab
+// writes land wherever the row hashes point — fine for small batches,
+// cache-hostile for large ones (see updateOrderedN).
+//
+// scaled selects the UpdateScaledN write rule: payload words added
+// verbatim and zero-delta rows applied; otherwise payload is scaled by
+// delta and zero-delta rows are skipped, matching Update.
+func (sr *SparseRecovery) updateLanesN(keys []uint64, payload []int64, deltas []int64, scaled bool) {
+	n := len(keys)
 	pd := sr.payloadDim
 	t := 0
 	for ; t+4 <= n; t += 4 {
@@ -163,15 +250,21 @@ func (sr *SparseRecovery) UpdateN(keys []uint64, payload []int64, deltas []int64
 			// and exact commutative sums make any write order identical.
 			for l := 0; l < 4; l++ {
 				delta := deltas[t+l]
-				if delta == 0 {
+				if delta == 0 && !scaled {
 					continue
 				}
 				b := sr.slab[(r*sr.width+lc[l])*sr.stride:][:sr.stride:sr.stride]
 				b[0] += delta
 				b[1] = int64(hashing.AddMod(uint64(b[1]), ldk[l]))
 				b[2] = int64(hashing.AddMod(uint64(b[2]), ldfp[l]))
-				for j := 0; j < pd; j++ {
-					b[3+j] += delta * payload[(t+l)*pd+j]
+				if scaled {
+					for j := 0; j < pd; j++ {
+						b[3+j] += payload[(t+l)*pd+j]
+					}
+				} else {
+					for j := 0; j < pd; j++ {
+						b[3+j] += delta * payload[(t+l)*pd+j]
+					}
 				}
 			}
 		}
@@ -181,7 +274,134 @@ func (sr *SparseRecovery) UpdateN(keys []uint64, payload []int64, deltas []int64
 		if pd > 0 {
 			row = payload[t*pd : (t+1)*pd]
 		}
-		sr.Update(keys[t], row, deltas[t])
+		if scaled {
+			sr.updateScaled(keys[t], row, deltas[t])
+		} else {
+			sr.Update(keys[t], row, deltas[t])
+		}
+	}
+}
+
+// UpdateScaledN is UpdateN for pre-aggregated input: payload rows are
+// already delta-scaled sums (Σ dᵢ·payloadᵢ over the ops coalesced into
+// the row) and deltas are the matching count sums (Σ dᵢ), as produced by
+// the ingest key-coalescer. The slab writes add the payload words as
+// given instead of multiplying by delta, and a zero-delta row is still
+// applied — its field terms vanish (ToField(0)·x = 0) but its payload
+// sum may not, exactly as the constituent per-op updates would have
+// written it. Linearity over GF(p) and int64 makes the result
+// bit-identical to applying the un-coalesced updates one at a time:
+// ToField distributes over signed sums mod p, and every slab word is an
+// exact commutative sum.
+func (sr *SparseRecovery) UpdateScaledN(keys []uint64, scaled []int64, deltas []int64) {
+	n := len(keys)
+	if len(deltas) != n {
+		panic("sketch: UpdateScaledN column length mismatch")
+	}
+	if sr.payloadDim > 0 && len(scaled) != n*sr.payloadDim {
+		panic("sketch: UpdateScaledN payload column length mismatch")
+	}
+	if sr.useOrdered(n) {
+		sr.updateOrderedN(keys, scaled, deltas, true)
+		return
+	}
+	sr.updateLanesN(keys, scaled, deltas, true)
+}
+
+// updateScaled is the scalar form of UpdateScaledN: one pre-aggregated
+// row, payload added verbatim.
+func (sr *SparseRecovery) updateScaled(key uint64, scaled []int64, delta int64) {
+	key = hashing.Reduce64(key)
+	df := hashing.ToField(delta)
+	dk := hashing.MulMod(df, key)
+	dfp := hashing.MulMod(df, sr.fpHash.Eval(key))
+	for r := 0; r < sr.rows; r++ {
+		c := bucketOf(sr.rowHash[r].Eval(key), sr.width)
+		b := sr.slab[(r*sr.width+c)*sr.stride:][:sr.stride:sr.stride]
+		b[0] += delta
+		b[1] = int64(hashing.AddMod(uint64(b[1]), dk))
+		b[2] = int64(hashing.AddMod(uint64(b[2]), dfp))
+		for j := 0; j < sr.payloadDim; j++ {
+			b[3+j] += scaled[j]
+		}
+	}
+}
+
+// updateOrderedN applies a batch with bucket-ordered slab traffic. The
+// hash columns — reduced keys, fingerprints, per-row bucket targets —
+// are precomputed through the 4-lane EvalN kernels, then each row's
+// writes are applied in bucket-ascending order via a counting-sort
+// permutation: the slab is touched row-major, sequentially within each
+// row, instead of one random bucket per (op × row). Duplicate keys in
+// the batch land adjacently, so their bucket lines are written while
+// still hot. Write order is irrelevant to the exact commutative sums in
+// the slab, so the result is bit-identical to the scatter path
+// (TestUpdateNOrderedMatchesScatter, FuzzCoalescedIngestMatchesSerial).
+//
+// scaled selects the UpdateScaledN write rule: payload words added
+// verbatim and zero-delta rows applied; otherwise payload is scaled by
+// delta and zero-delta rows are skipped, matching Update.
+func (sr *SparseRecovery) updateOrderedN(keys []uint64, payload []int64, deltas []int64, scaled bool) {
+	n := len(keys)
+	s := sr.scratch(n)
+	rk, fe := s.rk[:n], s.fe[:n]
+	for t, k := range keys {
+		rk[t] = hashing.Reduce64(k)
+	}
+	sr.fpHash.EvalN(fe, rk)
+	dk, dfp := s.dk[:n], s.dfp[:n]
+	for t := range rk {
+		df := hashing.ToField(deltas[t])
+		dk[t] = hashing.MulMod(df, rk[t])
+		dfp[t] = hashing.MulMod(df, fe[t])
+	}
+	pd, stride, width := sr.payloadDim, sr.stride, sr.width
+	he, bkt, perm, cnt := s.he[:n], s.bkt[:n], s.perm[:n], s.cnt[:width]
+	for r := 0; r < sr.rows; r++ {
+		sr.rowHash[r].EvalN(he, rk)
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for t := range he {
+			c := int32(bucketOf(he[t], width))
+			bkt[t] = c
+			cnt[c]++
+		}
+		var pos int32
+		for c := range cnt {
+			k := cnt[c]
+			cnt[c] = pos
+			pos += k
+		}
+		for t := range bkt {
+			c := bkt[t]
+			perm[cnt[c]] = int32(t)
+			cnt[c]++
+		}
+		row := sr.slab[r*width*stride : (r+1)*width*stride]
+		for _, t32 := range perm {
+			t := int(t32)
+			delta := deltas[t]
+			if !scaled && delta == 0 {
+				continue
+			}
+			b := row[int(bkt[t])*stride:][:stride:stride]
+			b[0] += delta
+			b[1] = int64(hashing.AddMod(uint64(b[1]), dk[t]))
+			b[2] = int64(hashing.AddMod(uint64(b[2]), dfp[t]))
+			if pd > 0 {
+				src := payload[t*pd : (t+1)*pd]
+				if scaled {
+					for j := 0; j < pd; j++ {
+						b[3+j] += src[j]
+					}
+				} else {
+					for j := 0; j < pd; j++ {
+						b[3+j] += delta * src[j]
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -208,6 +428,7 @@ func (sr *SparseRecovery) Merge(other *SparseRecovery) {
 func (sr *SparseRecovery) CloneEmpty() *SparseRecovery {
 	cp := *sr
 	cp.slab = make([]int64, len(sr.slab))
+	cp.scr = nil // batch scratch is per-instance; clones run on other goroutines
 	return &cp
 }
 

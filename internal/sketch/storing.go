@@ -214,6 +214,38 @@ func (st *Storing) UpdateKeyedN(cellKeys []uint64, cellIdx []int64, pointKeys []
 	st.epoch++
 }
 
+// UpdateKeyedScaledN is UpdateKeyedN for key-coalesced input: each row
+// is one distinct key with its summed delta (Σ dᵢ) and delta-scaled
+// payload sum (Σ dᵢ·payloadᵢ), as produced by the ingest coalescer.
+// The columns route to SparseRecovery.UpdateScaledN, whose exact
+// linear sums make the sketch state bit-identical to applying the
+// constituent per-op updates individually — including zero-delta rows
+// (an op and its deletion coalesced away), which must still be applied
+// because their payload sums need not vanish when two distinct inputs
+// share a fingerprint key. netUpdates advances by the delta sum and the
+// epoch once per non-empty batch, exactly like UpdateKeyedN.
+func (st *Storing) UpdateKeyedScaledN(cellKeys []uint64, cellScaled []int64, pointKeys []uint64, pointScaled []int64, deltas []int64) {
+	if len(deltas) == 0 {
+		return
+	}
+	if st.cells != nil {
+		if cellKeys == nil {
+			panic("sketch: UpdateKeyedScaledN missing cell columns for a cell-recovery instance")
+		}
+		st.cells.UpdateScaledN(cellKeys, cellScaled, deltas)
+	}
+	if st.points != nil {
+		if pointKeys == nil {
+			panic("sketch: UpdateKeyedScaledN missing point columns for a point-recovery instance")
+		}
+		st.points.UpdateScaledN(pointKeys, pointScaled, deltas)
+	}
+	for _, d := range deltas {
+		st.netUpdates += d
+	}
+	st.epoch++
+}
+
 // PointKey returns the key UpdateKeyed expects for p — st's point
 // fingerprint, shared across instances built with NewStoringShared.
 func (st *Storing) PointKey(p geo.Point) uint64 { return st.fp.Key(p) }
