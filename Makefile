@@ -1,4 +1,4 @@
-.PHONY: check check-assign check-coalesce check-dist check-hash check-obs check-shard test bench bench-json bcbench profile-ingest vet
+.PHONY: check check-assign check-coalesce check-dist check-hash check-incr check-obs check-shard test bench bench-json bcbench profile-extract profile-ingest vet
 
 # Revision stamp for benchmark binaries: BENCH_*.json meta blocks must
 # identify the commit that produced them, and ReadBuildInfo's vcs.*
@@ -13,7 +13,7 @@ STAMP_LDFLAGS := -X main.buildRevision=$(GIT_REV) -X main.buildDirty=$(GIT_DIRTY
 # suite under the race detector — the batched-ingest, parallel-extraction
 # and assignment-engine equivalence tests only mean something with -race
 # on. CI runs check-assign first (fast fail), then this.
-check: check-coalesce
+check: check-coalesce check-incr
 	go vet ./...
 	go build ./...
 	go test -race ./...
@@ -46,6 +46,19 @@ check-dist:
 	go vet ./internal/dist ./internal/streamfmt ./internal/solve
 	go test -short -race ./internal/dist ./internal/streamfmt
 	go test -short -race -run 'SeedKMeansPP|EstimateOPT' ./internal/solve
+
+# Fast incremental-extraction pass: vet the decode stack, pin the
+# differential (spliced) decode to the cold full peel bit-for-bit —
+# single-sketch success/FAIL transitions, the arena-aliasing guard, the
+# CacheBytes base accounting, fine-grained merge invalidation and the
+# alternating ingest/extract ensemble equivalence — under -race, then
+# replay the FuzzIncrementalDecodeMatchesCold seed corpus. Runs in a
+# couple of minutes; CI runs it before the full suite so differential-
+# decode regressions fail fast.
+check-incr:
+	go vet ./internal/sketch ./internal/stream
+	go test -race -run 'Incremental|Spliced|MergeFineGrained|CacheBytesIncludesBase|StoringCacheStats|StoringMergeDrop' ./internal/sketch ./internal/stream
+	go test -race -run 'FuzzIncrementalDecodeMatchesCold' ./internal/sketch
 
 # Fast telemetry pass: vet the obs package, run its concurrency tests
 # under -race, then gate the disabled-path overhead without -race (race
@@ -105,3 +118,9 @@ bench-json: bcbench
 # optimisation round: `go tool pprof ingest_cpu.pprof`.
 profile-ingest:
 	go test -run xxx -bench 'IngestAutoApply$$' -benchtime 30x -cpuprofile $(CURDIR)/ingest_cpu.pprof ./internal/stream
+
+# CPU profile of the periodic (mixed ingest + extraction) benchmark —
+# the serving pattern the differential decode targets — for the next
+# pprof-driven optimisation round: `go tool pprof extract_cpu.pprof`.
+profile-extract:
+	go test -run xxx -bench 'ExtractAutoPeriodic$$' -benchtime 30x -cpuprofile $(CURDIR)/extract_cpu.pprof ./internal/stream

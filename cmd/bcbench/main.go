@@ -437,9 +437,11 @@ func benchSketchUpdateN(seed int64) (scatterSec, orderedSec float64) {
 
 // benchExtract measures coreset-extraction throughput over the guess
 // ensemble: cold (decode caches dropped before every extraction, decoded
-// across the worker pool), serial cold (single-worker lazy baseline) and
-// warm (epoch-cache hits only). Prints a short report and records it as
-// BENCH_extract.json.
+// across the worker pool), serial cold (single-worker lazy baseline),
+// warm (epoch-cache hits only) and incremental (alternating small-batch
+// ingest and extraction: the query splices the dirty levels onto their
+// cached decode bases instead of re-peeling the whole ensemble). Prints
+// a short report and records it as BENCH_extract.json.
 func benchExtract(scale float64, seed int64) error {
 	n := int(4096 * scale)
 	if n < 1024 {
@@ -511,6 +513,39 @@ func benchExtract(scale float64, seed int64) error {
 	serialSec := rounds / elapsed[1].Seconds()
 	warmSec := rounds / elapsed[2].Seconds()
 
+	// Mixed ingest + query — the serving pattern the differential decode
+	// targets. Each round re-ingests a small batch of the original ops
+	// (same keys, so the sketch support never grows and every level stays
+	// decodable), samples how many decode units the batch dirtied, then
+	// times only the extraction, which splices the dirty levels onto
+	// their cached bases instead of re-peeling the ensemble. The pre-warm
+	// between rounds is untimed: a serving deployment keeps the ensemble
+	// warm between queries.
+	const incrBatch = 16
+	const incrRounds = 30
+	a.WarmDecodeCache()
+	var incrElapsed time.Duration
+	var dirtySum, totalSum int
+	for i := 0; i < incrRounds; i++ {
+		lo := (i * incrBatch) % n
+		hi := lo + incrBatch
+		if hi > n {
+			hi = n
+		}
+		a.Apply(ops[lo:hi])
+		d, tot := a.DirtyLevels()
+		dirtySum += d
+		totalSum += tot
+		t0 := time.Now()
+		if _, err := a.Result(); err != nil {
+			return fmt.Errorf("incremental extraction: %w", err)
+		}
+		incrElapsed += time.Since(t0)
+		a.WarmDecodeCache()
+	}
+	incrSec := incrRounds / incrElapsed.Seconds()
+	dirtyRatio := float64(dirtySum) / float64(totalSum)
+
 	rec := map[string]any{
 		"meta":                     runMeta(nil),
 		"bench":                    "stream_extract",
@@ -523,11 +558,18 @@ func benchExtract(scale float64, seed int64) error {
 		"extracts_per_sec_warm":    warmSec,
 		"warm_speedup_over_cold":   warmSec / coldSec,
 		"cold_speedup_over_serial": coldSec / serialSec,
+
+		"extracts_per_sec_incremental":  incrSec,
+		"incremental_speedup_over_cold": incrSec / coldSec,
+		"incremental_batch_ops":         incrBatch,
+		"dirty_level_ratio":             dirtyRatio,
 	}
 	fmt.Printf("stream extract (n=%d points, %d guesses, GOMAXPROCS=%d)\n", n, len(a.Guesses()), runtime.GOMAXPROCS(0))
 	fmt.Printf("  cold    : %12.2f extracts/sec  (%.2fx over serial)\n", coldSec, coldSec/serialSec)
 	fmt.Printf("  serial  : %12.2f extracts/sec\n", serialSec)
 	fmt.Printf("  warm    : %12.2f extracts/sec  (%.2fx over cold)\n", warmSec, warmSec/coldSec)
+	fmt.Printf("  incr    : %12.2f extracts/sec  (%.2fx over cold; batch=%d ops, %.4f dirty-level ratio)\n",
+		incrSec, incrSec/coldSec, incrBatch, dirtyRatio)
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

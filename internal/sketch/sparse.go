@@ -51,6 +51,20 @@ type SparseRecovery struct {
 
 	slab []int64 // rows × width buckets, stride words each
 
+	// Dirty-bucket journal for the differential decode (DESIGN.md §13).
+	// While track is set, every bucket whose words may have changed since
+	// the last snapshot is appended to dirty (duplicates allowed — writes
+	// are idempotent to replay). The journal lets DecodeDeltaWith fill,
+	// peel, verify and re-zero only the changed buckets, and SnapshotInto
+	// refresh only those buckets, making a splice O(dirty) instead of
+	// O(slab). When the journal outgrows dirtyCap the sketch flips to
+	// trackDense — "changed too much to enumerate" — and the splice falls
+	// back to the full-residual peel. The journal is derived state: absent
+	// from Bytes, Digest and clones.
+	track      bool
+	trackDense bool
+	dirty      []int32
+
 	scr *updScratch // lazily allocated batch-kernel scratch; never shared
 }
 
@@ -156,6 +170,45 @@ func NewSparseRecovery(rng *rand.Rand, s int, delta float64, payloadDim int) *Sp
 // Sparsity returns the sparsity budget s.
 func (sr *SparseRecovery) Sparsity() int { return sr.s }
 
+// dirtyCap bounds the journal: past a quarter of the buckets (plus a
+// floor for tiny sketches) enumerating changes buys nothing over a full
+// slab pass, so the sketch flips to densely-dirty instead.
+func (sr *SparseRecovery) dirtyCap() int { return sr.rows*sr.width/4 + 64 }
+
+// markDirty journals one changed bucket; callers guard on sr.track.
+func (sr *SparseRecovery) markDirty(bi int) {
+	if sr.trackDense {
+		return
+	}
+	if len(sr.dirty) >= sr.dirtyCap() {
+		sr.trackDense = true
+		sr.dirty = sr.dirty[:0]
+		return
+	}
+	sr.dirty = append(sr.dirty, int32(bi))
+}
+
+// StartDirtyTracking (re)starts the journal from the present state —
+// called right after a snapshot, so that journal ⊇ {buckets differing
+// from the snapshot} holds from here on.
+func (sr *SparseRecovery) StartDirtyTracking() {
+	sr.track, sr.trackDense, sr.dirty = true, false, sr.dirty[:0]
+}
+
+// StopDirtyTracking turns the journal off and releases it.
+func (sr *SparseRecovery) StopDirtyTracking() {
+	sr.track, sr.trackDense, sr.dirty = false, false, nil
+}
+
+// DirtySparse reports whether the journal is live and usable — i.e.
+// the set of buckets changed since the last snapshot is exactly
+// enumerated by it.
+func (sr *SparseRecovery) DirtySparse() bool { return sr.track && !sr.trackDense }
+
+// DirtyJournalBytes reports the journal's memory footprint (derived
+// state, counted by Storing.CacheBytes alongside the snapshots).
+func (sr *SparseRecovery) DirtyJournalBytes() int64 { return int64(cap(sr.dirty)) * 4 }
+
 // bucketOf maps a row-hash value h ∈ [0, p) to a bucket in [0, width) with
 // a Lemire multiply-shift instead of a 64-bit modulo — the modulo was a
 // measurable slice of the per-update cost. Shifting h to the top of the
@@ -178,6 +231,9 @@ func (sr *SparseRecovery) Update(key uint64, payload []int64, delta int64) {
 	dfp := hashing.MulMod(df, sr.fpHash.Eval(key))
 	for r := 0; r < sr.rows; r++ {
 		c := bucketOf(sr.rowHash[r].Eval(key), sr.width)
+		if sr.track {
+			sr.markDirty(r*sr.width + c)
+		}
 		b := sr.slab[(r*sr.width+c)*sr.stride:][:sr.stride:sr.stride]
 		b[0] += delta
 		b[1] = int64(hashing.AddMod(uint64(b[1]), dk))
@@ -253,6 +309,9 @@ func (sr *SparseRecovery) updateLanesN(keys []uint64, payload []int64, deltas []
 				if delta == 0 && !scaled {
 					continue
 				}
+				if sr.track {
+					sr.markDirty(r*sr.width + lc[l])
+				}
 				b := sr.slab[(r*sr.width+lc[l])*sr.stride:][:sr.stride:sr.stride]
 				b[0] += delta
 				b[1] = int64(hashing.AddMod(uint64(b[1]), ldk[l]))
@@ -317,6 +376,9 @@ func (sr *SparseRecovery) updateScaled(key uint64, scaled []int64, delta int64) 
 	dfp := hashing.MulMod(df, sr.fpHash.Eval(key))
 	for r := 0; r < sr.rows; r++ {
 		c := bucketOf(sr.rowHash[r].Eval(key), sr.width)
+		if sr.track {
+			sr.markDirty(r*sr.width + c)
+		}
 		b := sr.slab[(r*sr.width+c)*sr.stride:][:sr.stride:sr.stride]
 		b[0] += delta
 		b[1] = int64(hashing.AddMod(uint64(b[1]), dk))
@@ -379,11 +441,17 @@ func (sr *SparseRecovery) updateOrderedN(keys []uint64, payload []int64, deltas 
 			cnt[c]++
 		}
 		row := sr.slab[r*width*stride : (r+1)*width*stride]
+		lastDirty := int32(-1)
 		for _, t32 := range perm {
 			t := int(t32)
 			delta := deltas[t]
 			if !scaled && delta == 0 {
 				continue
+			}
+			// perm is bucket-ascending, so duplicate keys journal once.
+			if sr.track && bkt[t] != lastDirty {
+				lastDirty = bkt[t]
+				sr.markDirty(r*width + int(lastDirty))
 			}
 			b := row[int(bkt[t])*stride:][:stride:stride]
 			b[0] += delta
@@ -414,6 +482,18 @@ func (sr *SparseRecovery) Merge(other *SparseRecovery) {
 	}
 	for i := 0; i < len(sr.slab); i += sr.stride {
 		a, b := sr.slab[i:i+sr.stride], other.slab[i:i+sr.stride]
+		if sr.track {
+			changed := false
+			for j := 0; j < sr.stride; j++ {
+				if b[j] != 0 {
+					changed = true
+					break
+				}
+			}
+			if changed {
+				sr.markDirty(i / sr.stride)
+			}
+		}
 		a[0] += b[0]
 		a[1] = int64(hashing.AddMod(uint64(a[1]), uint64(b[1])))
 		a[2] = int64(hashing.AddMod(uint64(a[2]), uint64(b[2])))
@@ -429,13 +509,51 @@ func (sr *SparseRecovery) CloneEmpty() *SparseRecovery {
 	cp := *sr
 	cp.slab = make([]int64, len(sr.slab))
 	cp.scr = nil // batch scratch is per-instance; clones run on other goroutines
+	cp.track, cp.trackDense, cp.dirty = false, false, nil
 	return &cp
 }
 
 // Reset zeroes the bucket state in place, keeping the hash functions —
-// the memory-recycling analogue of CloneEmpty.
+// the memory-recycling analogue of CloneEmpty. Any dirty journal dies
+// with the state it was tracking.
 func (sr *SparseRecovery) Reset() {
 	clear(sr.slab)
+	sr.StopDirtyTracking()
+}
+
+// SnapshotSlab copies the current bucket slab into dst (grown if
+// needed) and returns it. A snapshot is the base of a later
+// DecodeDeltaWith: by linearity, cur − snapshot sketches exactly the
+// updates applied in between. The snapshot is plain memory — it never
+// aliases the live slab, so subsequent updates leave it untouched.
+func (sr *SparseRecovery) SnapshotSlab(dst []int64) []int64 {
+	if cap(dst) < len(sr.slab) {
+		dst = make([]int64, len(sr.slab))
+	}
+	dst = dst[:len(sr.slab)]
+	copy(dst, sr.slab)
+	return dst
+}
+
+// RefreshSnapshot brings a snapshot previously taken by SnapshotSlab up
+// to the current state and restarts the journal. With a live sparse
+// journal only the journaled buckets are copied — every other bucket is
+// unchanged since the snapshot by the journal invariant, O(dirty)
+// instead of O(slab); otherwise it falls back to the full copy. Either
+// way the returned snapshot equals the current slab verbatim.
+func (sr *SparseRecovery) RefreshSnapshot(dst []int64) []int64 {
+	if sr.DirtySparse() && len(dst) == len(sr.slab) {
+		stride := sr.stride
+		for _, b32 := range sr.dirty {
+			off := int(b32) * stride
+			copy(dst[off:off+stride], sr.slab[off:off+stride])
+		}
+		sr.StartDirtyTracking()
+		return dst
+	}
+	dst = sr.SnapshotSlab(dst)
+	sr.StartDirtyTracking()
+	return dst
 }
 
 // clone deep-copies the bucket state (hash functions shared).

@@ -2,8 +2,10 @@ package sketch
 
 import (
 	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"streambalance/internal/geo"
 	"streambalance/internal/grid"
@@ -16,14 +18,33 @@ import (
 // the metric itself. Per-level FAIL counters are created lazily on the
 // (rare) FAIL path.
 var (
-	mCacheHits       = obs.C("sketch_cache_hits_total")
-	mCacheMiss       = obs.C("sketch_cache_misses_total")
-	mCacheStale      = obs.C("sketch_cache_stale_total")
-	mCacheDrops      = obs.C("sketch_cache_drops_total")
-	mCacheMergeDrops = obs.C("sketch_cache_merge_drops_total")
-	mDecodeFail      = obs.C("sketch_decode_fail_total")
-	mDecodeNS        = obs.H("sketch_decode_ns")
+	mCacheHits            = obs.C("sketch_cache_hits_total")
+	mCacheMiss            = obs.C("sketch_cache_misses_total")
+	mCacheStale           = obs.C("sketch_cache_stale_total")
+	mCacheDrops           = obs.C("sketch_cache_drops_total")
+	mCacheMergeDrops      = obs.C("sketch_cache_merge_drops_total")
+	mCacheSplices         = obs.C("sketch_cache_splices_total")
+	mCacheSpliceFallbacks = obs.C("sketch_cache_splice_fallbacks_total")
+	mCacheMergeKeeps      = obs.C("sketch_cache_merge_keeps_total")
+	mCacheMergeSkips      = obs.C("sketch_cache_merge_skips_total")
+	mDecodeFail           = obs.C("sketch_decode_fail_total")
+	mDecodeNS             = obs.H("sketch_decode_ns")
 )
+
+// incrementalOn gates the differential decode path of ResultArena (on by
+// default). Both settings produce identical reported results — the
+// spliced decode falls back to a cold peel whenever it cannot prove
+// exactness — so the knob is a perf A/B switch for benchmarks and the
+// incremental-vs-cold equivalence suite (DESIGN.md §13).
+var incrementalOn = func() *atomic.Bool {
+	var b atomic.Bool
+	b.Store(true)
+	return &b
+}()
+
+// SetIncremental enables or disables differential (spliced) decoding,
+// returning the previous setting. Safe to call between queries.
+func SetIncremental(on bool) bool { return incrementalOn.Swap(on) }
 
 // Storing is the dynamic-streaming subroutine Storing(G_i, α, β, δ) of
 // Lemma 4.2: over a stream of point insertions and deletions it maintains,
@@ -59,11 +80,14 @@ type Storing struct {
 
 	// epoch counts state mutations (Update/UpdateKeyed/Merge). Result
 	// caches its decode tagged with the epoch it decoded at, so repeated
-	// extraction over an unchanged sketch skips the slab peel entirely and
-	// extraction during a long stream re-decodes only what changed. The
-	// cache is derived state: it is excluded from Bytes (see CacheBytes)
-	// and does not enter Digest. mu serializes concurrent Result calls;
-	// updates must still not run concurrently with anything else.
+	// extraction over an unchanged sketch skips the slab peel entirely,
+	// and a stale cache re-decodes differentially: the base below holds a
+	// slab snapshot plus the sorted item list of the last successful
+	// decode, so only the residual cur − snapshot is peeled and spliced
+	// onto the base (DESIGN.md §13). Cache and base are derived state:
+	// excluded from Bytes (see CacheBytes), absent from Digest. mu
+	// serializes concurrent Result calls; updates must still not run
+	// concurrently with anything else.
 	epoch      uint64
 	mu         sync.Mutex
 	cache      StoringResult
@@ -71,22 +95,54 @@ type Storing struct {
 	cacheEpoch uint64
 	cacheValid bool
 	stats      CacheStats // guarded by mu; always counted (query path only)
+
+	// Differential-decode base: valid only after a fully successful
+	// decode with incremental mode on. Each enabled side keeps the slab
+	// snapshot taken at that decode and its exact sorted item list; a
+	// later query peels only cur − snapshot and merges the delta in.
+	baseValid  bool
+	baseCells  sideBase
+	basePoints sideBase
+}
+
+// sideBase is one substream's differential-decode base: the slab
+// snapshot of the last successful decode and the items it decoded to,
+// sorted by key. items is exactly the decode of snap, so splicing a
+// verified residual delta onto it reproduces the cold decode of the
+// current slab.
+type sideBase struct {
+	snap  []int64
+	items []Item
 }
 
 // CacheStats reports how the decode cache behaved over this instance's
-// lifetime. Hits are Result calls answered from the cache, Misses are
-// decodes with no cached entry (cold), Stale are decodes forced because
-// updates advanced the epoch past a cached entry (the invalidation
-// count), Drops counts DropCache calls that actually discarded a cached
-// decode (including Merge's internal drop). MergeDrops is the subset of
-// Drops caused by Merge — the cache churn a sharded-ingest recombination
-// inflicts on the query snapshot (DESIGN.md §10); each MergeDrop is also
-// counted in Drops.
+// lifetime; one Storing sketches one grid level, so these are the
+// per-level hit/splice counters the stream layer aggregates. Hits are
+// Result calls answered from the cache, Misses are decodes with no
+// cached entry (cold), Stale are decodes forced because updates advanced
+// the epoch past a cached entry (the invalidation count), Drops counts
+// DropCache calls that actually discarded a cached decode (including
+// Merge's internal drop). MergeDrops is the subset of Drops caused by
+// Merge — the cache churn a sharded-ingest recombination inflicts on the
+// query snapshot (DESIGN.md §10); each MergeDrop is also counted in
+// Drops.
+//
+// The incremental-decode counters (DESIGN.md §13): Splices counts stale
+// re-decodes answered differentially (residual peel + merge onto the
+// cached base, including deterministic FAIL verdicts reached that way);
+// SpliceFallbacks counts differential attempts that could not prove
+// exactness and fell back to a cold peel. MergeSkips counts Merge calls
+// skipped entirely because the incoming sibling was pristine (zero
+// slab), leaving a fresh cache fresh; MergeKeeps counts merges of real
+// state that kept the base for the next differential decode instead of
+// dropping the cache.
+//
 // Counting happens on the query path only — never per stream update —
 // so it is always on, independent of the obs.Enabled flag; the same
 // events also feed the global sketch_cache_* counters.
 type CacheStats struct {
-	Hits, Misses, Stale, Drops, MergeDrops int64
+	Hits, Misses, Stale, Drops, MergeDrops           int64
+	Splices, SpliceFallbacks, MergeKeeps, MergeSkips int64
 }
 
 // CellCount is one recovered non-empty cell.
@@ -310,18 +366,132 @@ func (st *Storing) ResultArena(a *DecodeArena) (StoringResult, bool) {
 	return res, ok
 }
 
-// decode runs the actual sparse-recovery peel; mu must be held. a may
-// be nil (transient scratch).
+// decode answers a cache miss or a stale query; mu must be held, a may
+// be nil (transient scratch). With a valid differential base it first
+// attempts the spliced decode — residual peel plus merge onto the base
+// item lists — and falls back to the cold full peel only when the
+// splice cannot prove exactness (residual denser than 2s, or a combine
+// mismatch, both of which only occur under fingerprint collisions or
+// genuinely large deltas).
 func (st *Storing) decode(a *DecodeArena) (StoringResult, bool) {
-	res := StoringResult{Level: st.level}
+	if incrementalOn.Load() && st.baseValid {
+		res, ok, done := st.splice(a)
+		if done {
+			st.stats.Splices++
+			mCacheSplices.Inc()
+			return res, ok
+		}
+		st.stats.SpliceFallbacks++
+		mCacheSpliceFallbacks.Inc()
+	}
+	return st.decodeCold(a)
+}
+
+// decodeCold runs the full sparse-recovery peel of both sides and
+// refreshes (or clears) the differential base; mu must be held.
+func (st *Storing) decodeCold(a *DecodeArena) (StoringResult, bool) {
+	var cellItems, pointItems []Item
 	if st.cells != nil {
 		items, ok := st.cells.DecodeWith(a)
 		if !ok {
+			st.clearBase()
 			return StoringResult{}, false
 		}
-		for _, it := range items {
+		sortItemsByKey(items)
+		cellItems = items
+	}
+	if st.points != nil {
+		items, ok := st.points.DecodeWith(a)
+		if !ok {
+			st.clearBase()
+			return StoringResult{}, false
+		}
+		sortItemsByKey(items)
+		pointItems = items
+	}
+	res, ok := st.buildResult(cellItems, pointItems)
+	if ok && incrementalOn.Load() {
+		st.setBase(cellItems, pointItems)
+	} else if !ok {
+		st.clearBase()
+	}
+	return res, ok
+}
+
+// splice is the differential decode (DESIGN.md §13); mu must be held.
+// For each enabled side it peels the residual cur − snapshot — by
+// linearity, a valid sketch of exactly the updates applied since the
+// base decode — and merges the verified delta onto the base item list.
+// done=false means the splice could not prove exactness and the caller
+// must fall back to a cold peel; done=true carries a definitive verdict:
+// either the spliced success, or a deterministic FAIL (combined support
+// past the sparsity budget, or a negative net count) that the cold peel
+// would also reach. The residual item cap is 2s: a ≤ s-sparse base and a
+// ≤ s-sparse current state can differ in at most 2s keys, so a denser
+// residual proves nothing and falls back.
+func (st *Storing) splice(a *DecodeArena) (res StoringResult, ok, done bool) {
+	var cellItems, pointItems []Item
+	if st.cells != nil {
+		merged, mok, exact := spliceSide(st.cells, a, &st.baseCells)
+		if !exact {
+			return StoringResult{}, false, false
+		}
+		if !mok {
+			return StoringResult{}, false, true
+		}
+		cellItems = merged
+	}
+	if st.points != nil {
+		merged, mok, exact := spliceSide(st.points, a, &st.basePoints)
+		if !exact {
+			return StoringResult{}, false, false
+		}
+		if !mok {
+			return StoringResult{}, false, true
+		}
+		pointItems = merged
+	}
+	res, rok := st.buildResult(cellItems, pointItems)
+	if rok {
+		// Refresh the base to the current state: snapshot the live slabs
+		// and adopt the merged lists. On a FAIL verdict the old base stays
+		// — it is still an exact decode of its snapshot, and deletions may
+		// shrink the state back under the budget.
+		st.setBase(cellItems, pointItems)
+	}
+	return res, rok, true
+}
+
+// spliceSide runs one side's residual peel + merge. exact=false means
+// fall back to a cold decode; ok=false (with exact=true) means the
+// combined support exceeds the sparsity budget — the deterministic FAIL
+// a cold peel of an over-full sketch reports.
+func spliceSide(sr *SparseRecovery, a *DecodeArena, base *sideBase) (merged []Item, ok, exact bool) {
+	delta, pok := sr.DecodeDeltaWith(a, base.snap, 2*sr.Sparsity())
+	if !pok {
+		return nil, false, false
+	}
+	merged, mok := mergeDecodedItems(base.items, delta)
+	if !mok {
+		return nil, false, false
+	}
+	if len(merged) > sr.Sparsity() {
+		return nil, false, true
+	}
+	return merged, true, true
+}
+
+// buildResult converts the decoded item lists into the reported
+// StoringResult, FAILing on any negative net count (more deletions than
+// insertions: corrupt stream). The lists are sorted by key, so repeated
+// extraction — spliced or cold — reports cells and points in one
+// canonical order.
+func (st *Storing) buildResult(cellItems, pointItems []Item) (StoringResult, bool) {
+	res := StoringResult{Level: st.level}
+	if st.cells != nil {
+		for _, it := range cellItems {
 			if it.Count < 0 {
-				return StoringResult{}, false // more deletions than insertions: corrupt stream
+				return StoringResult{}, false
 			}
 			if it.Count == 0 {
 				continue
@@ -330,11 +500,7 @@ func (st *Storing) decode(a *DecodeArena) (StoringResult, bool) {
 		}
 	}
 	if st.points != nil {
-		pitems, ok := st.points.DecodeWith(a)
-		if !ok {
-			return StoringResult{}, false
-		}
-		for _, it := range pitems {
+		for _, it := range pointItems {
 			if it.Count < 0 {
 				return StoringResult{}, false
 			}
@@ -347,15 +513,122 @@ func (st *Storing) decode(a *DecodeArena) (StoringResult, bool) {
 	return res, true
 }
 
+// setBase snapshots the live slabs and adopts the given sorted item
+// lists as the differential base; mu must be held. The snapshots reuse
+// the previous base's buffers — via the sparse journal-guided refresh
+// when one is live, so steady-state splicing copies only the changed
+// buckets and allocates only the delta items. Either way the sketches
+// restart their dirty journals here: from this snapshot on, the
+// journal enumerates exactly the buckets that diverge from it.
+func (st *Storing) setBase(cellItems, pointItems []Item) {
+	if st.cells != nil {
+		st.baseCells.snap = st.cells.RefreshSnapshot(st.baseCells.snap)
+		st.baseCells.items = cellItems
+	}
+	if st.points != nil {
+		st.basePoints.snap = st.points.RefreshSnapshot(st.basePoints.snap)
+		st.basePoints.items = pointItems
+	}
+	st.baseValid = true
+}
+
+// clearBase releases the differential base and the dirty journals that
+// were tracking against its snapshots; mu must be held.
+func (st *Storing) clearBase() {
+	if st.cells != nil {
+		st.cells.StopDirtyTracking()
+	}
+	if st.points != nil {
+		st.points.StopDirtyTracking()
+	}
+	st.baseCells = sideBase{}
+	st.basePoints = sideBase{}
+	st.baseValid = false
+}
+
+// sortItemsByKey puts a decode's items into the canonical key order.
+// Peel order depends on which buckets happened to be pure first; sorting
+// makes cold and spliced decodes emit identical lists.
+func sortItemsByKey(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].Key < items[j].Key })
+}
+
+// mergeDecodedItems combines the base item list (sorted by key) with a
+// residual delta decode, producing the sorted item list of the summed
+// vector — exactly what a cold peel of the current slab returns, since
+// cur = snapshot + residual by linearity. Keys whose net count cancels
+// to zero vanish (as they do from a cold peel). A key present in both
+// lists must carry a consistent payload: the combined payload sum
+// pc·prevP + dc·deltaP must divide evenly by the combined count, and a
+// mismatch (only possible under a fingerprint collision) returns
+// ok=false so the caller falls back to the cold peel's own verdict.
+func mergeDecodedItems(prev, delta []Item) ([]Item, bool) {
+	if len(delta) == 0 {
+		return prev, true
+	}
+	sortItemsByKey(delta)
+	out := make([]Item, 0, len(prev)+len(delta))
+	i, j := 0, 0
+	for i < len(prev) || j < len(delta) {
+		switch {
+		case j >= len(delta) || (i < len(prev) && prev[i].Key < delta[j].Key):
+			out = append(out, prev[i])
+			i++
+		case i >= len(prev) || delta[j].Key < prev[i].Key:
+			out = append(out, delta[j])
+			j++
+		default: // same key on both sides
+			pc, dc := prev[i].Count, delta[j].Count
+			nc := pc + dc
+			if nc != 0 {
+				it := Item{Key: prev[i].Key, Count: nc}
+				if pd := len(prev[i].Payload); pd > 0 {
+					if len(delta[j].Payload) != pd {
+						return nil, false
+					}
+					p := make([]int64, pd)
+					for x := 0; x < pd; x++ {
+						num := pc*prev[i].Payload[x] + dc*delta[j].Payload[x]
+						if num%nc != 0 {
+							return nil, false
+						}
+						p[x] = num / nc
+					}
+					it.Payload = p
+				}
+				out = append(out, it)
+			}
+			i++
+			j++
+		}
+	}
+	return out, true
+}
+
 // Merge adds another Storing instance's state into st. Both must have
 // been created from the same random source position (identical hash
 // functions) — i.e. be CloneEmpty siblings; Merge panics on shape
 // mismatch. Linearity makes the merged sketch equivalent to one that saw
 // both streams interleaved.
+//
+// A pristine sibling (epoch 0: never updated since birth or Reset) has
+// an identically zero slab, so merging it is arithmetically a no-op —
+// Merge skips the state mutation entirely and a fresh decode cache
+// stays fresh. This is what keeps a fork that touched k levels from
+// dirtying the other levels' caches on recombination: Stream.Merge
+// calls down here for every level, but only the levels the fork
+// actually wrote pay anything.
 func (st *Storing) Merge(other *Storing) {
 	if st.level != other.level || (st.cells == nil) != (other.cells == nil) ||
 		(st.points == nil) != (other.points == nil) {
 		panic("sketch: Storing merge shape mismatch")
+	}
+	if other.epoch == 0 {
+		st.mu.Lock()
+		st.stats.MergeSkips++
+		mCacheMergeSkips.Inc()
+		st.mu.Unlock()
+		return
 	}
 	if st.cells != nil {
 		st.cells.Merge(other.cells)
@@ -365,15 +638,27 @@ func (st *Storing) Merge(other *Storing) {
 	}
 	st.netUpdates += other.netUpdates
 	st.epoch++
-	st.dropForMerge() // merged-in state invalidates any cached decode
+	st.invalidateForMerge()
 }
 
-// dropForMerge is Merge's cache invalidation. A discarded decode counts
-// both as a generic drop and under the merge-specific counters, so the
-// cache churn of merge-at-extraction recombination is separable from
-// explicit DropCache calls.
-func (st *Storing) dropForMerge() {
+// invalidateForMerge is Merge's cache bookkeeping for a real (non-empty)
+// merge. With a valid differential base the cache is merely left stale:
+// the epoch moved, but by linearity the next query's residual
+// cur − snapshot simply includes the merged-in state, so it splices
+// instead of re-peeling from scratch (MergeKeeps). Without a base —
+// incremental mode off, or the last decode FAILed — the cached decode is
+// discarded as before; the discard counts both as a generic drop and
+// under the merge-specific counters, so the cache churn of
+// merge-at-extraction recombination stays separable from explicit
+// DropCache calls.
+func (st *Storing) invalidateForMerge() {
 	st.mu.Lock()
+	defer st.mu.Unlock()
+	if incrementalOn.Load() && st.baseValid {
+		st.stats.MergeKeeps++
+		mCacheMergeKeeps.Inc()
+		return
+	}
 	if st.cacheValid {
 		st.stats.Drops++
 		st.stats.MergeDrops++
@@ -381,7 +666,6 @@ func (st *Storing) dropForMerge() {
 		mCacheMergeDrops.Inc()
 	}
 	st.cache, st.cacheOK, st.cacheEpoch, st.cacheValid = StoringResult{}, false, 0, false
-	st.mu.Unlock()
 }
 
 // Reset zeroes the sketch in place — slabs, net-update counter, epoch and
@@ -442,8 +726,9 @@ func (st *Storing) CacheFresh() bool {
 	return st.cacheValid && st.cacheEpoch == st.epoch
 }
 
-// DropCache discards the decode cache (releasing its memory). Purely a
-// performance knob: the next Result re-decodes from the slabs.
+// DropCache discards the decode cache and the differential base
+// (releasing their memory). Purely a performance knob: the next Result
+// re-decodes cold from the slabs.
 func (st *Storing) DropCache() {
 	st.mu.Lock()
 	if st.cacheValid {
@@ -451,6 +736,7 @@ func (st *Storing) DropCache() {
 		mCacheDrops.Inc()
 	}
 	st.cache, st.cacheOK, st.cacheEpoch, st.cacheValid = StoringResult{}, false, 0, false
+	st.clearBase()
 	st.mu.Unlock()
 }
 
@@ -462,23 +748,48 @@ func (st *Storing) CacheStats() CacheStats {
 	return st.stats
 }
 
-// CacheBytes reports the approximate memory held by the decode cache.
-// It is deliberately NOT part of Bytes: the cache is derived state,
-// reconstructible from the slabs at any time, not sketch space — the
-// streaming space bound of Theorem 4.5 is about what must be retained to
-// answer future updates, and dropping the cache loses nothing.
+// CacheBytes reports the approximate memory held by the decode cache
+// and the differential base: the cached result's cell/point lists, the
+// per-level cached item lists, and the base slab snapshots. It is
+// deliberately NOT part of Bytes (and never enters Digest): all of it
+// is derived state, reconstructible from the slabs at any time, not
+// sketch space — the streaming space bound of Theorem 4.5 is about what
+// must be retained to answer future updates, and DropCache returns this
+// gauge to zero while losing nothing. Payload slices shared between the
+// result and the base item lists are counted once per holder; the gauge
+// is an upper estimate, not an allocator census.
 func (st *Storing) CacheBytes() int64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if !st.cacheValid {
-		return 0
-	}
 	var b int64
-	for i := range st.cache.Cells {
-		b += 40 + int64(len(st.cache.Cells[i].Index))*8
+	if st.cacheValid {
+		for i := range st.cache.Cells {
+			b += 40 + int64(len(st.cache.Cells[i].Index))*8
+		}
+		for i := range st.cache.Points {
+			b += 32 + int64(len(st.cache.Points[i].P))*8
+		}
 	}
-	for i := range st.cache.Points {
-		b += 32 + int64(len(st.cache.Points[i].P))*8
+	if st.baseValid {
+		b += int64(len(st.baseCells.snap)+len(st.basePoints.snap)) * 8
+		b += itemListBytes(st.baseCells.items)
+		b += itemListBytes(st.basePoints.items)
+		if st.cells != nil {
+			b += st.cells.DirtyJournalBytes()
+		}
+		if st.points != nil {
+			b += st.points.DirtyJournalBytes()
+		}
+	}
+	return b
+}
+
+// itemListBytes estimates the memory of a cached decode item list: the
+// Item headers (key + count + payload slice header) plus payload words.
+func itemListBytes(items []Item) int64 {
+	b := int64(len(items)) * 40
+	for i := range items {
+		b += int64(len(items[i].Payload)) * 8
 	}
 	return b
 }

@@ -370,9 +370,11 @@ func TestStoringCachesFailedDecode(t *testing.T) {
 
 // TestStoringCacheStats pins the decode-cache accounting that DropCache
 // decisions are made against: a cold Result is a miss, a repeated one a
-// hit, an update in between makes the next Result a stale re-decode
-// (the invalidation count), DropCache and Merge count as drops, and a
-// DropCache on an already-empty cache is not a drop.
+// hit, an update in between makes the next Result a stale re-decode —
+// answered differentially (a splice) when a base exists — DropCache
+// counts as a drop (and a drop on an already-empty cache does not), a
+// pristine-fork Merge is skipped outright, and a real Merge over a live
+// base keeps it for the next splice instead of dropping.
 func TestStoringCacheStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := buildGrid(t, 1024, 2, 11)
@@ -396,38 +398,48 @@ func TestStoringCacheStats(t *testing.T) {
 	want(CacheStats{Hits: 2, Misses: 1})
 
 	st.Insert(geo.Point{5, 5}) // epoch bump invalidates
-	st.Result()                // stale re-decode, not a cold miss
-	want(CacheStats{Hits: 2, Misses: 1, Stale: 1})
+	st.Result()                // stale re-decode: spliced, not a cold miss
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Splices: 1})
 
 	st.DropCache()
-	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1})
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1, Splices: 1})
 	st.DropCache() // nothing cached: not a drop
-	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1})
-	st.Result() // cold again after the drop
-	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1})
+	want(CacheStats{Hits: 2, Misses: 1, Stale: 1, Drops: 1, Splices: 1})
+	st.Result() // cold again after the drop (the drop cleared the base too)
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1, Splices: 1})
 
-	// Merge invalidates via its internal drop: the merged-in state voids
-	// the cached decode (counted both as a drop and as a merge drop), and
-	// the next Result must re-peel.
+	// A pristine fork never updated anything: the merge is a no-op, the
+	// cache stays fresh and only MergeSkips moves.
+	st.Merge(st.CloneEmpty())
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1, Splices: 1, MergeSkips: 1})
+	if !st.CacheFresh() {
+		t.Fatal("pristine-fork Merge must leave the cache fresh")
+	}
+
+	// A real merge over a live base keeps it (MergeKeeps, no drop): the
+	// next Result splices the merged-in delta instead of re-peeling.
 	fork := st.CloneEmpty()
 	fork.Insert(geo.Point{9, 9})
 	st.Merge(fork)
-	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 2, MergeDrops: 1})
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 1, Drops: 1, Splices: 1, MergeKeeps: 1, MergeSkips: 1})
 	if st.CacheFresh() {
-		t.Fatal("Merge must leave the cache invalid")
+		t.Fatal("real Merge must leave the cache stale")
 	}
 	st.Result()
-	want(CacheStats{Hits: 2, Misses: 3, Stale: 1, Drops: 2, MergeDrops: 1})
+	want(CacheStats{Hits: 2, Misses: 2, Stale: 2, Drops: 1, Splices: 2, MergeKeeps: 1, MergeSkips: 1})
 }
 
-// TestStoringMergeDropCounter pins the obs counter behind CacheStats's
-// MergeDrops: sketch_cache_merge_drops_total moves exactly when a Merge
-// discards a live cached decode — not on merges into an undecoded
-// receiver, and not on explicit DropCache calls.
+// TestStoringMergeDropCounter pins the obs counters behind CacheStats's
+// merge fields: with incremental decode on, a Merge over a live base
+// moves sketch_cache_merge_keeps_total and leaves the merge-drop counter
+// alone; with incremental decode off, it discards the cached decode and
+// moves sketch_cache_merge_drops_total exactly once — not on merges into
+// an undecoded receiver, and not on explicit DropCache calls.
 func TestStoringMergeDropCounter(t *testing.T) {
 	obs.Enable()
 	defer obs.Disable()
-	ctr := obs.C("sketch_cache_merge_drops_total")
+	drops := obs.C("sketch_cache_merge_drops_total")
+	keeps := obs.C("sketch_cache_merge_keeps_total")
 
 	rng := rand.New(rand.NewSource(12))
 	g := buildGrid(t, 1024, 2, 12)
@@ -438,19 +450,39 @@ func TestStoringMergeDropCounter(t *testing.T) {
 	fork.Insert(geo.Point{7, 7})
 
 	// No cached decode on the receiver: the merge invalidates nothing.
-	before := ctr.Load()
+	before := drops.Load()
 	st.Merge(fork)
-	if got := ctr.Load(); got != before {
+	if got := drops.Load(); got != before {
 		t.Fatalf("merge into undecoded receiver moved the counter: %d -> %d", before, got)
 	}
 
-	// A live cached decode: the merge must record exactly one merge drop.
+	// A live base with incremental decode on: kept, not dropped.
 	st.Result()
+	keepsBefore := keeps.Load()
 	fork2 := st.CloneEmpty()
 	fork2.Insert(geo.Point{9, 9})
 	st.Merge(fork2)
-	if got := ctr.Load(); got != before+1 {
-		t.Fatalf("merge over a cached decode: counter %d -> %d, want +1", before, got)
+	if got := drops.Load(); got != before {
+		t.Fatalf("merge over a spliceable base moved the drop counter: %d -> %d", before, got)
+	}
+	if got := keeps.Load(); got != keepsBefore+1 {
+		t.Fatalf("merge over a spliceable base: keeps %d -> %d, want +1", keepsBefore, got)
+	}
+	if s := st.CacheStats(); s.MergeKeeps != 1 || s.MergeDrops != 0 {
+		t.Fatalf("CacheStats = %+v, want MergeKeeps 1, MergeDrops 0", s)
+	}
+
+	// Incremental decode off: the PR-2 behaviour — a live cached decode
+	// is discarded and counted as exactly one merge drop.
+	prev := SetIncremental(false)
+	defer SetIncremental(prev)
+	st.DropCache()
+	st.Result()
+	fork3 := st.CloneEmpty()
+	fork3.Insert(geo.Point{11, 11})
+	st.Merge(fork3)
+	if got := drops.Load(); got != before+1 {
+		t.Fatalf("merge over a cached decode (incremental off): counter %d -> %d, want +1", before, got)
 	}
 	if s := st.CacheStats(); s.MergeDrops != 1 {
 		t.Fatalf("CacheStats.MergeDrops = %d, want 1", s.MergeDrops)
@@ -459,7 +491,7 @@ func TestStoringMergeDropCounter(t *testing.T) {
 	// An explicit DropCache is a plain drop, never a merge drop.
 	st.Result()
 	st.DropCache()
-	if got := ctr.Load(); got != before+1 {
+	if got := drops.Load(); got != before+1 {
 		t.Fatalf("DropCache moved the merge-drop counter: %d -> %d", before+1, got)
 	}
 }

@@ -16,11 +16,16 @@
 //     to the serial path by construction. With one worker the pool is
 //     skipped entirely and the original lazy path runs unchanged.
 //
-//   - Epoch cache: each Storing tags its decode with an update epoch
-//     (sketch.Storing); a repeated Result during a long stream re-decodes
-//     only levels whose state changed since the last extraction. Cache
-//     memory is derived state, excluded from Bytes (DESIGN.md §6) and
-//     invalidated by updates, Fork and Merge.
+//   - Epoch cache + differential decode: each Storing tags its decode
+//     with an update epoch (sketch.Storing); a repeated Result during a
+//     long stream touches only levels whose state changed since the last
+//     extraction, and a changed level re-peels only the residual against
+//     its cached base — splicing the delta onto the cached item lists —
+//     instead of the whole slab (DESIGN.md §13). Merging a fork dirties
+//     only the levels the fork actually wrote (pristine levels are
+//     skipped outright) and dirtied levels keep their base for the next
+//     splice. Cache memory is derived state, excluded from Bytes
+//     (DESIGN.md §6) and released by DropDecodeCache.
 //
 // Auto.Result decodes candidate guesses speculatively — the estimate
 // guess first, then the ascending-scan prefix up to the cost-bound cap —
@@ -269,9 +274,9 @@ func (s *Stream) DropDecodeCache() {
 	}
 }
 
-// DecodeCacheBytes reports the memory currently held by decode caches.
-// This is derived state — excluded from Bytes, the Theorem 4.5 space
-// accounting — see DESIGN.md §6.
+// DecodeCacheBytes reports the memory currently held by decode caches
+// and differential-decode bases. This is derived state — excluded from
+// Bytes, the Theorem 4.5 space accounting — see DESIGN.md §6.
 func (s *Stream) DecodeCacheBytes() int64 {
 	var b int64
 	for i := range s.hpStore {
@@ -282,6 +287,76 @@ func (s *Stream) DecodeCacheBytes() int64 {
 		b += s.hatStore[i].CacheBytes()
 	}
 	return b
+}
+
+// eachStoring calls f on every decode unit of the stream — the h/h′
+// cell sketches and ĥ point sketch of each level.
+func (s *Stream) eachStoring(f func(*sketch.Storing)) {
+	for i := range s.hpStore {
+		if s.hStore[i] != nil {
+			f(s.hStore[i])
+		}
+		f(s.hpStore[i])
+		f(s.hatStore[i])
+	}
+}
+
+// WarmDecodeCache decodes every unit whose cache is not fresh, across
+// the worker pool — the serving pre-warm: after it returns, a query
+// that consults any unit gets a cache hit, and the next dirty batch is
+// answered by differential decodes against the freshly set bases. It
+// never changes any result (decoding is read-only on sketch state).
+func (s *Stream) WarmDecodeCache() {
+	var units []*sketch.Storing
+	s.eachStoring(func(st *sketch.Storing) { units = append(units, st) })
+	warmStorings(units, extractWorkers())
+}
+
+// WarmDecodeCache pre-warms every guess instance (see
+// Stream.WarmDecodeCache).
+func (a *Auto) WarmDecodeCache() {
+	var units []*sketch.Storing
+	for _, s := range a.streams {
+		s.eachStoring(func(st *sketch.Storing) { units = append(units, st) })
+	}
+	warmStorings(units, extractWorkers())
+}
+
+// CacheStats sums the per-level decode-cache counters (hits, splices,
+// merge keeps/skips, …) over every decode unit of the stream.
+func (s *Stream) CacheStats() sketch.CacheStats {
+	var total sketch.CacheStats
+	s.eachStoring(func(st *sketch.Storing) { total = addCacheStats(total, st.CacheStats()) })
+	return total
+}
+
+// DirtyLevels reports how many of the stream's decode units
+// (level × substream sketches) no longer have a fresh cached decode —
+// the units the next extraction has to touch — against the total unit
+// count. A small dirty/total ratio is exactly the regime where the
+// differential decode turns a query into a handful of residual peels.
+func (s *Stream) DirtyLevels() (dirty, total int) {
+	s.eachStoring(func(st *sketch.Storing) {
+		total++
+		if !st.CacheFresh() {
+			dirty++
+		}
+	})
+	return dirty, total
+}
+
+// addCacheStats is the field-wise sum of two CacheStats.
+func addCacheStats(a, b sketch.CacheStats) sketch.CacheStats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Stale += b.Stale
+	a.Drops += b.Drops
+	a.MergeDrops += b.MergeDrops
+	a.Splices += b.Splices
+	a.SpliceFallbacks += b.SpliceFallbacks
+	a.MergeKeeps += b.MergeKeeps
+	a.MergeSkips += b.MergeSkips
+	return a
 }
 
 // Result selects a guess. On insertion-only streams the reservoir gives
@@ -425,4 +500,23 @@ func (a *Auto) DecodeCacheBytes() int64 {
 		b += s.DecodeCacheBytes()
 	}
 	return b
+}
+
+// CacheStats sums the decode-cache counters over all guess instances.
+func (a *Auto) CacheStats() sketch.CacheStats {
+	var total sketch.CacheStats
+	for _, s := range a.streams {
+		total = addCacheStats(total, s.CacheStats())
+	}
+	return total
+}
+
+// DirtyLevels sums Stream.DirtyLevels over all guess instances.
+func (a *Auto) DirtyLevels() (dirty, total int) {
+	for _, s := range a.streams {
+		d, n := s.DirtyLevels()
+		dirty += d
+		total += n
+	}
+	return dirty, total
 }

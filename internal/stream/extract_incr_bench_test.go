@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"testing"
+
+	"streambalance/internal/sketch"
+)
+
+// benchIncrementalExtract times ONLY the query in the alternating
+// small-batch-ingest / extract serving loop: the batch and the
+// between-query pre-warm run with the timer stopped, so the measured
+// cost is one extraction over a slightly dirty, otherwise warm
+// ensemble — the case the differential decode targets. Toggling the
+// incremental knob A/Bs the splice path against full re-peels of the
+// dirty levels.
+func benchIncrementalExtract(b *testing.B, incremental bool) {
+	b.Helper()
+	prev := sketch.SetIncremental(incremental)
+	defer sketch.SetIncremental(prev)
+	a := benchExtractAuto(b)
+	ops := benchIngestOps(4096)
+	const batch = 16
+	a.WarmDecodeCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lo := (i * batch) % len(ops)
+		hi := lo + batch
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		a.Apply(ops[lo:hi])
+		b.StartTimer()
+		if _, err := a.Result(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		a.WarmDecodeCache()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkExtractAutoIncremental(b *testing.B) { benchIncrementalExtract(b, true) }
+
+func BenchmarkExtractAutoIncrementalOff(b *testing.B) { benchIncrementalExtract(b, false) }
