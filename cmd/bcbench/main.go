@@ -536,6 +536,13 @@ func benchExtract(scale float64, seed int64) error {
 		d, tot := a.DirtyLevels()
 		dirtySum += d
 		totalSum += tot
+		// Collect the churn of the untimed scaffolding (batch ingest +
+		// pre-warm) before starting the clock: the ensemble's live heap is
+		// large at this geometry, so a concurrent GC cycle triggered by
+		// scaffolding garbage spans several rounds and its mark assists
+		// would otherwise tax allocations inside the ~15 ms timed query,
+		// inflating it 3-4×.
+		runtime.GC()
 		t0 := time.Now()
 		if _, err := a.Result(); err != nil {
 			return fmt.Errorf("incremental extraction: %w", err)
