@@ -1,4 +1,4 @@
-.PHONY: check check-assign check-coalesce check-dist check-hash check-incr check-obs check-shard test bench bench-json bcbench profile-extract profile-ingest vet
+.PHONY: check check-assign check-coalesce check-dist check-hash check-incr check-obs check-shard test bench bench-diff bench-json bcbench profile-extract profile-ingest vet
 
 # Revision stamp for benchmark binaries: BENCH_*.json meta blocks must
 # identify the commit that produced them, and ReadBuildInfo's vcs.*
@@ -60,15 +60,18 @@ check-incr:
 	go test -race -run 'Incremental|Spliced|MergeFineGrained|CacheBytesIncludesBase|StoringCacheStats|StoringMergeDrop' ./internal/sketch ./internal/stream
 	go test -race -run 'FuzzIncrementalDecodeMatchesCold' ./internal/sketch
 
-# Fast telemetry pass: vet the obs package, run its concurrency tests
-# under -race, then gate the disabled-path overhead without -race (race
-# instrumentation inflates atomic loads by design, so the ns/op budget
-# only means something in a plain build; see bench_test.go). CI runs it
-# before the full suite so a hot-path telemetry regression fails fast.
+# Fast telemetry pass: vet the obs package and the bench/diff CLI, run
+# their tests under -race (vectors, series, trace propagation, the
+# /debug endpoints under concurrent writers, the -diff gate), then gate
+# the disabled-path overhead — scalar and labeled-vector — without -race
+# (race instrumentation inflates atomic loads by design, so the ns/op
+# budget only means something in a plain build; see bench_test.go). CI
+# runs it before the full suite so a hot-path telemetry regression fails
+# fast.
 check-obs:
-	go vet ./internal/obs
-	go test -race ./internal/obs
-	go test -run DisabledOverheadBudget ./internal/obs
+	go vet ./internal/obs ./cmd/bcbench
+	go test -race ./internal/obs ./cmd/bcbench
+	go test -run OverheadBudget ./internal/obs
 	go test -run xxx -bench 'Disabled' -benchtime 100000x ./internal/obs
 
 # Fast field-kernel/decoder pass: vet the hashing/sketch/grid layers, pin
@@ -113,6 +116,23 @@ bcbench:
 # records the producing commit instead of "unknown".
 bench-json: bcbench
 	./bin/bcbench -bench
+
+# Benchmark regression gate: re-run the bench suite at the same default
+# geometry into BENCH_DIFF_DIR, then diff every committed BENCH_*.json
+# against the fresh record. bcbench -diff exits non-zero when a gated
+# (per_sec / speedup / ns_per / sec_* / _bits) metric falls below
+# BENCH_DIFF_TOL of its committed value; the default 0.35 is loose on
+# purpose — shared CI hosts jitter ±30% and the gate is after 2x-class
+# regressions, not single-digit drift (tighten locally with
+# BENCH_DIFF_TOL=0.6 on quiet hardware).
+BENCH_DIFF_DIR ?= /tmp/bcbench-diff
+BENCH_DIFF_TOL ?= 0.35
+bench-diff: bcbench
+	mkdir -p $(BENCH_DIFF_DIR)
+	./bin/bcbench -bench -outdir $(BENCH_DIFF_DIR)
+	@for f in BENCH_*.json; do \
+		./bin/bcbench -diff -tol $(BENCH_DIFF_TOL) $$f $(BENCH_DIFF_DIR)/$$f || exit 1; \
+	done
 
 # CPU profile of the batched ingest benchmark, for the next pprof-driven
 # optimisation round: `go tool pprof ingest_cpu.pprof`.

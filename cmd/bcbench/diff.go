@@ -1,0 +1,169 @@
+// Benchmark regression gate: `bcbench -diff old.json new.json` compares
+// two BENCH_*.json records metric by metric and exits non-zero when a
+// gated metric regressed beyond the tolerance.
+//
+// The record schema is free-form (each bench writes whatever map it
+// likes), so the gate classifies metrics by key shape instead of a
+// hand-maintained list:
+//
+//	higher-is-better: keys containing "per_sec" or "speedup",
+//	lower-is-better:  keys containing "ns_per", ending in "_ns" or
+//	                  "_bits", or "sec_*" wall-clock seconds,
+//	informational:    everything else (config echoes, seeds, ratios) —
+//	                  reported when changed, never gated.
+//
+// A gated metric regresses when its better-direction ratio drops below
+// the tolerance: new/old < tol for higher-is-better, old/new < tol for
+// lower-is-better. The default tol 0.6 trips on a 2x regression
+// (ratio 0.5) while riding out the ±20-30% wall-clock noise a shared CI
+// host produces. The "meta" block is never compared.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// flattenBench walks a decoded BENCH record and collects every numeric
+// leaf under a dotted path ("hash.0.ns_per_op_scalar"). Array elements
+// flatten under their index. "meta" subtrees are dropped wholesale.
+func flattenBench(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			if k == "meta" {
+				continue
+			}
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenBench(p, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			flattenBench(fmt.Sprintf("%s.%d", prefix, i), sub, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// metricDirection classifies a flattened key: +1 higher-is-better,
+// -1 lower-is-better, 0 informational (never gated).
+func metricDirection(key string) int {
+	last := key
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		last = key[i+1:]
+	}
+	switch {
+	case strings.Contains(key, "per_sec"), strings.Contains(key, "speedup"):
+		return 1
+	case strings.Contains(key, "ns_per"),
+		strings.HasSuffix(key, "_ns"),
+		strings.HasSuffix(key, "_bits"),
+		strings.HasPrefix(last, "sec_"):
+		return -1
+	default:
+		return 0
+	}
+}
+
+func loadBench(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec any
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flattenBench("", rec, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no numeric metrics found", path)
+	}
+	return out, nil
+}
+
+// diffBench compares two flattened records and writes a report. It
+// returns the number of gated metrics that regressed beyond tol.
+func diffBench(w io.Writer, oldM, newM map[string]float64, tol float64) int {
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	fmt.Fprintf(w, "  %-52s %14s %14s %8s  %s\n", "metric", "old", "new", "ratio", "status")
+	for _, k := range keys {
+		dir := metricDirection(k)
+		ov := oldM[k]
+		nv, ok := newM[k]
+		if !ok {
+			if dir != 0 {
+				fmt.Fprintf(w, "  %-52s %14.4g %14s %8s  missing in new\n", k, ov, "-", "-")
+			}
+			continue
+		}
+		if dir == 0 {
+			continue
+		}
+		// better-direction ratio: >1 improved, <1 regressed.
+		var ratio float64
+		switch {
+		case ov == 0 && nv == 0:
+			ratio = 1
+		case ov == 0 || nv == 0:
+			ratio = 0
+		case dir > 0:
+			ratio = nv / ov
+		default:
+			ratio = ov / nv
+		}
+		status := "ok"
+		if ratio < tol {
+			status = "REGRESSION"
+			regressions++
+		} else if ratio > 1/tol {
+			status = "improved"
+		}
+		fmt.Fprintf(w, "  %-52s %14.4g %14.4g %8.3f  %s\n", k, ov, nv, ratio, status)
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok && metricDirection(k) != 0 {
+			fmt.Fprintf(w, "  %-52s %14s %14.4g %8s  new metric\n", k, "-", newM[k], "-")
+		}
+	}
+	return regressions
+}
+
+// runDiff is the -diff entry point: load, compare, report. Returns the
+// regression count.
+func runDiff(w io.Writer, oldPath, newPath string, tol float64) (int, error) {
+	if tol <= 0 || tol >= 1 {
+		return 0, fmt.Errorf("-tol must be in (0, 1), got %g", tol)
+	}
+	oldM, err := loadBench(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newM, err := loadBench(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "bench diff  %s -> %s  (tol %.2f: gated metrics fail below %.2fx of old)\n",
+		oldPath, newPath, tol, tol)
+	regs := diffBench(w, oldM, newM, tol)
+	if regs > 0 {
+		fmt.Fprintf(w, "  %d regression(s) beyond tolerance\n", regs)
+	} else {
+		fmt.Fprintln(w, "  no regressions beyond tolerance")
+	}
+	return regs, nil
+}

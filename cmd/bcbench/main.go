@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	bcbench [-scale 1.0] [-seed 1] [-only E1,E5] [-bench]
+//	bcbench [-scale 1.0] [-seed 1] [-only E1,E5] [-bench] [-outdir DIR]
+//	bcbench -diff [-tol 0.6] old.json new.json
 //
 // -scale multiplies every instance size (use 2–4 for slower, tighter
 // runs); -only restricts to a comma-separated subset of experiment ids.
+// -diff compares two BENCH_*.json records and exits non-zero when a
+// throughput or latency metric regressed beyond the tolerance (see
+// diff.go) — the CI benchmark gate. -outdir redirects the -bench
+// record files so a fresh run can be diffed against the committed ones.
 // -bench skips the experiment suite and instead measures the field-kernel
 // and decoder hot paths (scalar vs 4-lane batched hashing, reference vs
 // worklist peeling decode), dynamic-stream
@@ -30,9 +35,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"streambalance"
@@ -75,7 +82,48 @@ var (
 	buildDirty    string
 )
 
-func runMeta(procsMatrix []int) map[string]any {
+// benchOutDir is the -outdir flag: where writeBench places BENCH_*.json
+// records ("" = current directory, the committed trajectory files).
+var benchOutDir string
+
+// writeBench records one bench result, shared by every bench function.
+func writeBench(name string, rec map[string]any) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := name
+	if benchOutDir != "" {
+		path = filepath.Join(benchOutDir, name)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+// gcMeta reads the effective GOGC percent and memory limit once — both
+// shift allocation-heavy numbers enough that comparing records across
+// different GC settings is meaningless, so the meta block pins them.
+// SetGCPercent(-1) is the only way to read GOGC; the value is restored
+// immediately and cached so the probe runs at most once per process.
+var (
+	gcMetaOnce sync.Once
+	gcPercent  int
+	gcMemLimit int64
+)
+
+func gcMeta() (int, int64) {
+	gcMetaOnce.Do(func() {
+		gcPercent = debug.SetGCPercent(-1)
+		debug.SetGCPercent(gcPercent)
+		gcMemLimit = debug.SetMemoryLimit(-1)
+	})
+	return gcPercent, gcMemLimit
+}
+
+func runMeta(procsMatrix []int, wallStart time.Time) map[string]any {
 	rev, dirty := "unknown", false
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range bi.Settings {
@@ -103,17 +151,21 @@ func runMeta(procsMatrix []int) map[string]any {
 		}
 	}
 	parallel := maxProcs > 1 && runtime.NumCPU() > 1
+	gogc, memLimit := gcMeta()
 	m := map[string]any{
-		"git_revision": rev,
-		"git_dirty":    dirty,
-		"go_version":   runtime.Version(),
-		"gomaxprocs":   runtime.GOMAXPROCS(0),
-		"num_cpu":      runtime.NumCPU(),
-		"goos":         runtime.GOOS,
-		"goarch":       runtime.GOARCH,
-		"timestamp":    time.Now().UTC().Format(time.RFC3339),
-		"procs_matrix": procsMatrix,
-		"parallel":     parallel,
+		"git_revision":     rev,
+		"git_dirty":        dirty,
+		"go_version":       runtime.Version(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"num_cpu":          runtime.NumCPU(),
+		"goos":             runtime.GOOS,
+		"goarch":           runtime.GOARCH,
+		"gogc":             gogc,
+		"gomemlimit_bytes": memLimit,
+		"timestamp":        time.Now().UTC().Format(time.RFC3339),
+		"wall_clock_sec":   time.Since(wallStart).Seconds(),
+		"procs_matrix":     procsMatrix,
+		"parallel":         parallel,
 	}
 	if !parallel {
 		m["parallel_caveat"] = "recorded with a single effective CPU (GOMAXPROCS or NumCPU = 1); " +
@@ -132,6 +184,7 @@ func runMeta(procsMatrix []int) map[string]any {
 // do exactly the same arithmetic). Prints a short report and records it
 // as BENCH_hash.json.
 func benchHash(seed int64) error {
+	start := time.Now()
 	rng := rand.New(rand.NewSource(seed))
 	const cols = 1 << 15
 	const lambda = 16
@@ -238,7 +291,7 @@ func benchHash(seed int64) error {
 	}
 
 	rec := map[string]any{
-		"meta":       runMeta(nil),
+		"meta":       runMeta(nil, start),
 		"bench":      "hash_decode",
 		"column_len": cols,
 		"lambda":     lambda,
@@ -255,21 +308,14 @@ func benchHash(seed int64) error {
 		fmt.Printf("  decode s=%-4d             : %9.0f ns ref  %9.0f ns worklist  (%.2fx)\n",
 			r["s"], r["ns_per_decode_ref"], r["ns_per_decode_worklist"], r["speedup"])
 	}
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_hash.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_hash.json")
-	return nil
+	return writeBench("BENCH_hash.json", rec)
 }
 
 // benchIngest measures ingest ops/sec of the guess-enumeration ensemble
 // through the batched pipeline and the serial per-op path, prints a short
 // report and records it as BENCH_ingest.json.
 func benchIngest(scale float64, seed int64) error {
+	start := time.Now()
 	n := int(16384 * scale)
 	if n < 1024 {
 		n = 1024
@@ -350,7 +396,7 @@ func benchIngest(scale float64, seed int64) error {
 	scatterSec, orderedSec := benchSketchUpdateN(seed)
 
 	rec := map[string]any{
-		"meta":                            runMeta(nil),
+		"meta":                            runMeta(nil, start),
 		"bench":                           "stream_ingest",
 		"n_ops":                           n,
 		"guesses":                         len(serial.Guesses()),
@@ -377,15 +423,7 @@ func benchIngest(scale float64, seed int64) error {
 		ratios["h"], ratios["hp"], ratios["hat"])
 	fmt.Printf("  sketch UpdateN    : %12.0f upd/sec scatter, %.0f ordered (%.2fx)\n",
 		scatterSec, orderedSec, orderedSec/scatterSec)
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_ingest.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_ingest.json")
-	return nil
+	return writeBench("BENCH_ingest.json", rec)
 }
 
 // benchSketchUpdateN isolates the sketch-level write schedule: an
@@ -443,6 +481,7 @@ func benchSketchUpdateN(seed int64) (scatterSec, orderedSec float64) {
 // cached decode bases instead of re-peeling the whole ensemble). Prints
 // a short report and records it as BENCH_extract.json.
 func benchExtract(scale float64, seed int64) error {
+	start := time.Now()
 	n := int(4096 * scale)
 	if n < 1024 {
 		n = 1024
@@ -554,7 +593,7 @@ func benchExtract(scale float64, seed int64) error {
 	dirtyRatio := float64(dirtySum) / float64(totalSum)
 
 	rec := map[string]any{
-		"meta":                     runMeta(nil),
+		"meta":                     runMeta(nil, start),
 		"bench":                    "stream_extract",
 		"n_points":                 n,
 		"guesses":                  len(a.Guesses()),
@@ -577,15 +616,7 @@ func benchExtract(scale float64, seed int64) error {
 	fmt.Printf("  warm    : %12.2f extracts/sec  (%.2fx over cold)\n", warmSec, warmSec/coldSec)
 	fmt.Printf("  incr    : %12.2f extracts/sec  (%.2fx over cold; batch=%d ops, %.4f dirty-level ratio)\n",
 		incrSec, incrSec/coldSec, incrBatch, dirtyRatio)
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_extract.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_extract.json")
-	return nil
+	return writeBench("BENCH_extract.json", rec)
 }
 
 // benchAssign measures capacitated-assignment throughput on the
@@ -598,6 +629,7 @@ func benchExtract(scale float64, seed int64) error {
 // BENCH_assign.json. Modes are timed round-robin like benchExtract so
 // machine-noise phases spread over all three.
 func benchAssign(scale float64, seed int64) error {
+	start := time.Now()
 	n := int(512 * scale)
 	if n < 64 {
 		n = 64
@@ -677,7 +709,7 @@ func benchAssign(scale float64, seed int64) error {
 	warmSec := float64(rounds*solves) / elapsed[2].Seconds()
 
 	rec := map[string]any{
-		"meta":                  runMeta(nil),
+		"meta":                  runMeta(nil, start),
 		"bench":                 "assign_sweep",
 		"n_points":              n,
 		"k":                     k,
@@ -697,15 +729,7 @@ func benchAssign(scale float64, seed int64) error {
 	fmt.Printf("  fresh   : %12.2f solves/sec\n", freshSec)
 	fmt.Printf("  arena   : %12.2f solves/sec  (%.2fx over fresh)\n", arenaSec, arenaSec/freshSec)
 	fmt.Printf("  warm    : %12.2f solves/sec  (%.2fx over fresh)\n", warmSec, warmSec/freshSec)
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_assign.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_assign.json")
-	return nil
+	return writeBench("BENCH_assign.json", rec)
 }
 
 // benchDist measures distributed-protocol wall-clock on a fixed 8-machine
@@ -717,6 +741,7 @@ func benchAssign(scale float64, seed int64) error {
 // bit-identical by contract). Prints a short report and records it as
 // BENCH_dist.json.
 func benchDist(scale float64, seed int64) error {
+	start := time.Now()
 	n := int(16384 * scale)
 	if n < 2048 {
 		n = 2048
@@ -776,7 +801,7 @@ func benchDist(scale float64, seed int64) error {
 	}
 
 	rec := map[string]any{
-		"meta":              runMeta(nil),
+		"meta":              runMeta(nil, start),
 		"bench":             "dist_protocol",
 		"n_points":          n,
 		"machines":          s,
@@ -799,15 +824,7 @@ func benchDist(scale float64, seed int64) error {
 	for m := 1; m < len(modes); m++ {
 		fmt.Printf("  %-8s: %12.1f ms  (%.2fx over serial)\n", modes[m].name, secs[m]*1e3, secs[0]/secs[m])
 	}
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_dist.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_dist.json")
-	return nil
+	return writeBench("BENCH_dist.json", rec)
 }
 
 // benchShard measures the sharded multicore ingest front-end: for every
@@ -820,6 +837,7 @@ func benchDist(scale float64, seed int64) error {
 // Apply+Flush; the merge runs inside the untimed digest check, its
 // latency captured by the stream_shard_merge_ns histogram).
 func benchShard(scale float64, seed int64, procs []int) error {
+	start := time.Now()
 	n := int(16384 * scale)
 	if n < 1024 {
 		n = 1024
@@ -912,7 +930,7 @@ func benchShard(scale float64, seed int64, procs []int) error {
 	baseline := grid[cell{procs[0], 1}]
 	best := grid[cell{maxP, workersLadder[len(workersLadder)-1]}]
 	rec := map[string]any{
-		"meta":    runMeta(procs),
+		"meta":    runMeta(procs, start),
 		"bench":   "stream_shard",
 		"n_ops":   n,
 		"guesses": guesses,
@@ -923,15 +941,7 @@ func benchShard(scale float64, seed int64, procs []int) error {
 		"aggregate_speedup_8w_maxprocs_over_1w_minprocs": best / baseline,
 	}
 	fmt.Printf("  aggregate: %dw@%dprocs %.2fx over 1w@%dprocs\n", workersLadder[len(workersLadder)-1], maxP, best/baseline, procs[0])
-	buf, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_shard.json", append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("  wrote BENCH_shard.json")
-	return nil
+	return writeBench("BENCH_shard.json", rec)
 }
 
 // parseProcs parses the -procs flag: a comma-separated ascending list of
@@ -968,7 +978,27 @@ func main() {
 	procs := flag.String("procs", "1,2,4,8", "comma-separated ascending GOMAXPROCS matrix for the sharded-ingest bench")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address (e.g. :6060) while running")
 	metricsDump := flag.String("metrics", "", "dump a final telemetry snapshot to stderr: text (Prometheus exposition) or json")
+	diffMode := flag.Bool("diff", false, "compare two BENCH_*.json records (bcbench -diff old.json new.json) and exit 1 on regression")
+	tol := flag.Float64("tol", 0.6, "regression tolerance for -diff: gated metrics fail below this fraction of the old value")
+	outdir := flag.String("outdir", "", "directory for -bench BENCH_*.json output (default: current directory)")
 	flag.Parse()
+	benchOutDir = *outdir
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bcbench -diff [-tol 0.6] old.json new.json")
+			os.Exit(2)
+		}
+		regs, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *tol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if regs > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *metricsDump {
 	case "", "text", "json":

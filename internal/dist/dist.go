@@ -61,17 +61,15 @@ var (
 	mFailCells   = obs.C("dist_fail_cells_total")
 	mFailPoints  = obs.C("dist_fail_points_total")
 
-	// Per-phase wire bits; the phase set is the protocol's, fixed.
-	mPhaseBits = map[string]*obs.Counter{
-		"round1-sample":    obs.C(`dist_wire_bits_total{phase="round1-sample"}`),
-		"round1-broadcast": obs.C(`dist_wire_bits_total{phase="round1-broadcast"}`),
-		"round2-h":         obs.C(`dist_wire_bits_total{phase="round2-h"}`),
-		"round2-hp":        obs.C(`dist_wire_bits_total{phase="round2-hp"}`),
-		"round2-hat":       obs.C(`dist_wire_bits_total{phase="round2-hat"}`),
-	}
+	// Per-phase wire bits; the phase set is the protocol's, fixed. The
+	// vector interns each phase on first charge under the same
+	// dist_wire_bits_total{phase="..."} names the package used to build
+	// by hand.
+	vPhaseBits = obs.CV("dist_wire_bits_total", "phase")
 
-	mRound1NS  = obs.H(`dist_round_ns{round="1"}`)
-	mRound2NS  = obs.H(`dist_round_ns{round="2"}`)
+	vRoundNS   = obs.HV("dist_round_ns", "round")
+	mRound1NS  = vRoundNS.With("1")
+	mRound2NS  = vRoundNS.With("2")
 	mComputeNS = obs.H("dist_machine_compute_ns")
 )
 
@@ -387,7 +385,7 @@ func (co *coordinator) chargeLocked(phase string, frameBytes int) {
 	co.rep.Bits += bits
 	mFrames.Inc()
 	mWireBits.Add(bits)
-	mPhaseBits[phase].Add(bits)
+	vPhaseBits.Add(bits, phase)
 }
 
 func (co *coordinator) formulaLocked(phase string, bits int64) {
@@ -490,8 +488,14 @@ func (co *coordinator) finishRound1() ([]byte, error) {
 	return encodeBroadcast(broadcastMsg{O: o, Seed: seed, Shift: g.Shift}), nil
 }
 
-// handleFrame decodes, meters and merges one round-2 frame from machine j.
+// handleFrame decodes, meters and merges one round-2 frame from machine
+// j, stripping any trace-context header first — metering always charges
+// the inner frame, so traced runs report the same Bits as untraced ones.
 func (co *coordinator) handleFrame(j int, frame []byte) error {
+	_, frame, err := detachTrace(frame)
+	if err != nil {
+		return err
+	}
 	g := co.env.g
 	switch frameType(frame) {
 	case frameCellsH:

@@ -75,10 +75,14 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 	sem := make(chan struct{}, workers)
 
 	mRuns.Inc()
-	sp := obs.StartSpan("dist.run")
+	// The run span roots a distributed trace; its context rides the
+	// broadcast frame so machine and link spans parent onto it even when
+	// the "machines" are remote processes.
+	sp := obs.Trace.StartRoot("dist.run")
 	sp.AttrInt("machines", int64(s))
 	sp.AttrInt("workers", int64(workers))
 	defer co.finishSpan(&sp)
+	rootCtx := sp.Context()
 	tRound1 := obs.NowNano()
 
 	var mwg sync.WaitGroup
@@ -130,7 +134,9 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 		r2wg.Add(1)
 		go func(j int) {
 			defer r2wg.Done()
-			if err := links[j].Coord.Send(bframe); err != nil {
+			// The broadcast carries the run span's context; the charge is
+			// the plain frame (the header is never metered).
+			if err := links[j].Coord.Send(attachTrace(bframe, rootCtx)); err != nil {
 				co.abort(fmt.Errorf("dist: broadcast to machine %d: %w", j, err))
 				return
 			}
@@ -161,10 +167,22 @@ func Run(machines []geo.PointSet, cfg Config) (*Report, error) {
 
 // readRound2 drains machine j's round-2 frames into the merge state. It
 // always reads to EOF — even after an abort — so a machine blocked on a
-// full link can finish and exit.
+// full link can finish and exit. The first traced frame opens a
+// dist.link span parented on the sender's machine span (a cross-process
+// parent when the transport is real), closed at EOF with per-link frame
+// and byte totals.
 func (co *coordinator) readRound2(j int, c Conn) {
 	expected := 3*co.env.g.L + 2
 	seen := 0
+	var linkSp obs.Span
+	var linkBytes int64
+	defer func() {
+		if linkSp.Active() {
+			linkSp.AttrInt("frames", int64(seen))
+			linkSp.AttrInt("bytes", linkBytes)
+			linkSp.End()
+		}
+	}()
 	for {
 		f, err := c.Recv()
 		if errors.Is(err, io.EOF) {
@@ -173,6 +191,13 @@ func (co *coordinator) readRound2(j int, c Conn) {
 		if err != nil {
 			co.abort(fmt.Errorf("dist: machine %d round 2: %w", j, err))
 			return
+		}
+		if tc, payload, derr := detachTrace(f); derr == nil {
+			if tc.Valid() && !linkSp.Active() {
+				linkSp = obs.Trace.StartChild(tc, "dist.link")
+				linkSp.AttrInt("machine", int64(j))
+			}
+			linkBytes += int64(len(payload))
 		}
 		if co.aborted() {
 			continue // drain without merging
@@ -207,10 +232,24 @@ func runMachine(c Conn, j int, pts geo.PointSet, cfg Config, sem chan struct{}) 
 	if err != nil {
 		return
 	}
+	ptc, bf, err := detachTrace(bf)
+	if err != nil {
+		return
+	}
 	bc, err := decodeBroadcast(bf, cfg.Dim)
 	if err != nil {
 		return // coordinator sees the early close and aborts
 	}
+
+	// The machine's round-2 work runs under a span parented on the
+	// coordinator's run span (carried by the broadcast header); its own
+	// context rides every round-2 frame so the coordinator's link span
+	// parents onto it in turn. With tracing off both contexts are zero
+	// and every frame is sent headerless.
+	msp := obs.Trace.StartChild(ptc, "dist.machine")
+	msp.AttrInt("machine", int64(j))
+	defer msp.End()
+	mtc := msp.Context()
 
 	sem <- struct{}{}
 	defer func() { <-sem }()
@@ -223,14 +262,14 @@ func runMachine(c Conn, j int, pts geo.PointSet, cfg Config, sem chan struct{}) 
 	mc := newMachineCtx(cfg, env, pts)
 	for level := 0; level <= env.g.L; level++ {
 		if level < env.g.L {
-			if c.Send(encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level]))) != nil {
+			if c.Send(attachTrace(encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level])), mtc)) != nil {
 				return
 			}
 		}
-		if c.Send(encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level]))) != nil {
+		if c.Send(attachTrace(encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level])), mtc)) != nil {
 			return
 		}
-		if c.Send(encodeHat(mc.hatAt(level))) != nil {
+		if c.Send(attachTrace(encodeHat(mc.hatAt(level)), mtc)) != nil {
 			return
 		}
 	}
@@ -249,7 +288,7 @@ func RunSerial(machines []geo.PointSet, cfg Config) (*Report, error) {
 	co := newCoordinator(cfg, s)
 
 	mRuns.Inc()
-	sp := obs.StartSpan("dist.run_serial")
+	sp := obs.Trace.StartRoot("dist.run_serial")
 	sp.AttrInt("machines", int64(s))
 	defer co.finishSpan(&sp)
 
@@ -266,7 +305,16 @@ func RunSerial(machines []geo.PointSet, cfg Config) (*Report, error) {
 
 	for j, m := range machines {
 		co.chargeBroadcast(len(bframe))
-		bc, err := decodeBroadcast(bframe, cfg.Dim)
+		// Same frame choreography as the pipelined driver, inline: the
+		// broadcast carries the run context, the machine span's context
+		// rides every round-2 frame, handleFrame strips it before
+		// metering — so serial and pipelined Reports stay bit-identical
+		// with tracing on or off.
+		ptc, pbf, err := detachTrace(attachTrace(bframe, sp.Context()))
+		if err != nil {
+			return nil, err
+		}
+		bc, err := decodeBroadcast(pbf, cfg.Dim)
 		if err != nil {
 			return nil, err
 		}
@@ -274,20 +322,27 @@ func RunSerial(machines []geo.PointSet, cfg Config) (*Report, error) {
 		if !shiftEqual(env.g.Shift, bc.Shift) {
 			return nil, fmt.Errorf("dist: machine %d shared-randomness mismatch", j)
 		}
+		msp := obs.Trace.StartChild(ptc, "dist.machine")
+		msp.AttrInt("machine", int64(j))
+		mtc := msp.Context()
 		mc := newMachineCtx(cfg, env, m)
 		for level := 0; level <= env.g.L; level++ {
 			if level < env.g.L {
-				if err := co.handleFrame(j, encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level]))); err != nil {
+				if err := co.handleFrame(j, attachTrace(encodeCells(frameCellsH, mc.cellsAt(level, env.hSamp[level])), mtc)); err != nil {
+					msp.End()
 					return nil, err
 				}
 			}
-			if err := co.handleFrame(j, encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level]))); err != nil {
+			if err := co.handleFrame(j, attachTrace(encodeCells(frameCellsHP, mc.cellsAt(level, env.hpSamp[level])), mtc)); err != nil {
+				msp.End()
 				return nil, err
 			}
-			if err := co.handleFrame(j, encodeHat(mc.hatAt(level))); err != nil {
+			if err := co.handleFrame(j, attachTrace(encodeHat(mc.hatAt(level)), mtc)); err != nil {
+				msp.End()
 				return nil, err
 			}
 		}
+		msp.End()
 	}
 
 	cs, err := co.buildCoreset()

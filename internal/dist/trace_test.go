@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"streambalance/internal/coreset"
+	"streambalance/internal/obs"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	inner := []byte{frameHat, 7, 0, 3}
+	var tc obs.TraceContext
+	tc.TraceID[0], tc.TraceID[15] = 0xab, 0xcd
+	tc.SpanID[7] = 0xef
+
+	framed := attachTrace(inner, tc)
+	if len(framed) != traceHeaderLen+len(inner) {
+		t.Fatalf("framed length %d, want %d", len(framed), traceHeaderLen+len(inner))
+	}
+	got, payload, err := detachTrace(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Fatalf("context round-trip: %v vs %v", got, tc)
+	}
+	if !bytes.Equal(payload, inner) {
+		t.Fatalf("payload round-trip: %v vs %v", payload, inner)
+	}
+
+	// Invalid context attaches nothing — the disabled-tracing wire image.
+	if out := attachTrace(inner, obs.TraceContext{}); !bytes.Equal(out, inner) {
+		t.Fatal("zero context changed the frame")
+	}
+	// Headerless (old-format) frames pass through untouched.
+	ptc, payload, err := detachTrace(inner)
+	if err != nil || ptc.Valid() || !bytes.Equal(payload, inner) {
+		t.Fatalf("plain frame not passed through: tc=%v payload=%v err=%v", ptc, payload, err)
+	}
+	// Truncated header and unknown version are errors, not silent skips.
+	if _, _, err := detachTrace(framed[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	bad := append([]byte(nil), framed...)
+	bad[1] = 9
+	if _, _, err := detachTrace(bad); err == nil {
+		t.Fatal("unknown header version accepted")
+	}
+}
+
+// withTracing runs f with metrics and span recording forced on, on a
+// clean process-tracer ring, restoring both afterwards.
+func withTracing(t *testing.T, f func()) {
+	t.Helper()
+	prevM, prevT := obs.Enabled(), obs.Trace.Enabled()
+	obs.Enable()
+	obs.Trace.Enable()
+	obs.Trace.Reset()
+	defer func() {
+		obs.SetEnabled(prevM)
+		if !prevT {
+			obs.Trace.Disable()
+		}
+		obs.Trace.Reset()
+	}()
+	f()
+}
+
+// TestTracedRunBitIdentical is the write-only contract of trace
+// propagation: with tracing on, every broadcast and round-2 frame
+// carries a 26-byte context header, yet the Report — measured bits,
+// phase split, coreset — must be bit-identical to the untraced run,
+// serial and pipelined alike, because metering charges the inner frame.
+func TestTracedRunBitIdentical(t *testing.T) {
+	ps, _ := testMixture(31, 3000)
+	rng := rand.New(rand.NewSource(32))
+	machines := splitAcross(ps, 5, rng)
+	cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 33}}
+
+	ref, err := RunSerial(machines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTracing(t, func() {
+		serial, err := RunSerial(machines, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportEqual(t, "traced-serial", ref, serial)
+		piped, err := Run(machines, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportEqual(t, "traced-pipelined", ref, piped)
+
+		pipeCfg := cfg
+		pipeCfg.Transport = PipeTransport{}
+		overPipe, err := Run(machines, pipeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reportEqual(t, "traced-pipe-transport", ref, overPipe)
+	})
+}
+
+// TestTraceAssembly pins the cross-process span tree a traced run
+// records: one dist.run root, a dist.machine child per machine parented
+// on the root (the context crossed the wire in the broadcast), and a
+// dist.link child per machine parented on that machine's span (the
+// context crossed back in the round-2 frames).
+func TestTraceAssembly(t *testing.T) {
+	ps, _ := testMixture(34, 1500)
+	rng := rand.New(rand.NewSource(35))
+	const s = 3
+	machines := splitAcross(ps, s, rng)
+	cfg := Config{Dim: 2, Delta: testDelta, Params: coreset.Params{K: 3, Seed: 36}}
+
+	withTracing(t, func() {
+		if _, err := Run(machines, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var root obs.Event
+		bySpan := map[string]obs.Event{}
+		var machinesSeen, linksSeen int
+		for _, ev := range obs.Trace.Events() {
+			switch ev.Name {
+			case "dist.run":
+				root = ev
+			case "dist.machine":
+				machinesSeen++
+			case "dist.link":
+				linksSeen++
+			}
+			if ev.Span != "" {
+				bySpan[ev.Span] = ev
+			}
+		}
+		if root.Span == "" || root.Trace == "" {
+			t.Fatal("no traced dist.run root span recorded")
+		}
+		if machinesSeen != s || linksSeen != s {
+			t.Fatalf("recorded %d machine and %d link spans, want %d each", machinesSeen, linksSeen, s)
+		}
+		for _, ev := range obs.Trace.Events() {
+			switch ev.Name {
+			case "dist.machine":
+				if ev.Trace != root.Trace || ev.Parent != root.Span {
+					t.Fatalf("machine span not parented on run root: %+v", ev)
+				}
+			case "dist.link":
+				parent, ok := bySpan[ev.Parent]
+				if ev.Trace != root.Trace || !ok || parent.Name != "dist.machine" {
+					t.Fatalf("link span not parented on a machine span: %+v", ev)
+				}
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"streambalance/internal/geo"
+	"streambalance/internal/obs"
 	"streambalance/internal/streamfmt"
 )
 
@@ -29,9 +30,58 @@ const (
 	frameCellsH    byte = 3 // machine → coordinator, round 2: h cell counts
 	frameCellsHP   byte = 4 // machine → coordinator, round 2: h′ cell counts
 	frameHat       byte = 5 // machine → coordinator, round 2: ĥ point payload
+
+	// frameTraceTag prefixes an optional trace-context header in front of
+	// any frame: [0x80][version][16-byte trace id][8-byte span id][frame].
+	// The tag sits outside the 1–5 payload range, so a receiver that
+	// detaches before dispatching decodes old (headerless) frames
+	// unchanged, and the header is version-gated for future growth.
+	// The header is observability-only: Report.Bits charges the inner
+	// frame, never the header, so traced and untraced runs report
+	// bit-identical communication.
+	frameTraceTag byte = 0x80
+	traceHeaderV1 byte = 1
 )
 
+// traceHeaderLen is the full prefix length: tag + version + ids.
+const traceHeaderLen = 2 + 16 + 8
+
 var errTruncated = errors.New("dist: truncated or malformed frame")
+
+// attachTrace prefixes frame with tc's trace-context header. An invalid
+// (zero) context — tracing disabled, or an untraced span — returns the
+// frame unchanged, which is what keeps disabled-telemetry runs byte-
+// identical on the wire.
+func attachTrace(frame []byte, tc obs.TraceContext) []byte {
+	if !tc.Valid() {
+		return frame
+	}
+	out := make([]byte, 0, traceHeaderLen+len(frame))
+	out = append(out, frameTraceTag, traceHeaderV1)
+	out = append(out, tc.TraceID[:]...)
+	out = append(out, tc.SpanID[:]...)
+	return append(out, frame...)
+}
+
+// detachTrace splits an optional trace-context header off a frame. A
+// headerless frame passes through untouched with a zero context; an
+// unknown header version is an error (the header is version-gated, not
+// silently skipped, since its length may change).
+func detachTrace(frame []byte) (obs.TraceContext, []byte, error) {
+	if len(frame) == 0 || frame[0] != frameTraceTag {
+		return obs.TraceContext{}, frame, nil
+	}
+	if len(frame) < traceHeaderLen {
+		return obs.TraceContext{}, nil, errTruncated
+	}
+	if frame[1] != traceHeaderV1 {
+		return obs.TraceContext{}, nil, fmt.Errorf("dist: unknown trace header version %d", frame[1])
+	}
+	var tc obs.TraceContext
+	copy(tc.TraceID[:], frame[2:18])
+	copy(tc.SpanID[:], frame[18:26])
+	return tc, frame[traceHeaderLen:], nil
+}
 
 // wireCell is one non-empty cell in a round-2 count message: its level-i
 // index vector and the machine's local (integer) point count.

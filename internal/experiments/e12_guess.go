@@ -111,7 +111,7 @@ func E12GuessSelection(c Cfg) *metrics.Table {
 		tb.Add(row.cells[:]...)
 	}
 	if fails > 0 {
-		obs.C(`exp_fail_rows_total{exp="E12"}`).Add(fails)
+		vFailRows.Add(fails, "E12")
 	}
 	sp.AttrInt("fail_rows", fails)
 	sp.End()

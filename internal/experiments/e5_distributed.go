@@ -67,7 +67,7 @@ func E5Distributed(c Cfg) *metrics.Table {
 		tb.Add(row.cells[:]...)
 	}
 	if fails > 0 {
-		obs.C(`exp_fail_rows_total{exp="E5"}`).Add(fails)
+		vFailRows.Add(fails, "E5")
 	}
 	sp.AttrInt("fail_rows", fails)
 	sp.End()

@@ -15,9 +15,15 @@ import (
 	"streambalance/internal/assign"
 	"streambalance/internal/geo"
 	"streambalance/internal/metrics"
+	"streambalance/internal/obs"
 	"streambalance/internal/solve"
 	"streambalance/internal/workload"
 )
+
+// vFailRows counts FAIL rows per experiment table (DESIGN.md §9): the
+// paper's guarantees are probabilistic, so FAILs are an expected,
+// observable outcome, not an error path.
+var vFailRows = obs.CV("exp_fail_rows_total", "exp")
 
 // Cfg scales and seeds an experiment run. Scale 1 is the quick
 // configuration used by `go test -bench`; cmd/bcbench -full uses larger

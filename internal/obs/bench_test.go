@@ -52,6 +52,29 @@ func BenchmarkDisabledSpan(b *testing.B) {
 	}
 }
 
+var benchVec = CV("bench_vec_total", "shard")
+
+func BenchmarkDisabledCounterVec(b *testing.B) {
+	prev := Enabled()
+	Disable()
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchVec.Inc("0")
+	}
+}
+
+func BenchmarkEnabledCounterVec(b *testing.B) {
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchVec.Inc("0")
+	}
+	benchSink = benchVec.With("0").Load()
+}
+
 func BenchmarkEnabledCounter(b *testing.B) {
 	prev := Enabled()
 	Enable()
@@ -94,5 +117,37 @@ func TestDisabledOverheadBudget(t *testing.T) {
 	t.Logf("disabled counter fast path: %.2f ns/op (best of 5)", perOp)
 	if perOp > 25 {
 		t.Fatalf("disabled counter fast path costs %.1f ns/op, budget is 25 ns/op", perOp)
+	}
+}
+
+// TestDisabledVecOverheadBudget holds labeled vectors to the same ceiling
+// as scalar metrics: a disabled CounterVec.Inc must return on the flag
+// load before touching label hashing or the interning table.
+func TestDisabledVecOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates atomic loads by design")
+	}
+	prev := Enabled()
+	Disable()
+	defer SetEnabled(prev)
+
+	const iters = 2_000_000
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			benchVec.Inc("0")
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	perOp := float64(best.Nanoseconds()) / iters
+	t.Logf("disabled counter-vec fast path: %.2f ns/op (best of 5)", perOp)
+	if perOp > 25 {
+		t.Fatalf("disabled counter-vec fast path costs %.1f ns/op, budget is 25 ns/op", perOp)
 	}
 }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestServeDebugScrapeUnderWriters pins the debug endpoints' output
+// format while metric writers run concurrently: /metrics stays valid
+// Prometheus text exposition line by line and /debug/vars stays valid
+// JSON throughout, and once the writers drain both surfaces show the
+// exact totals. The -race run of this test is the concurrency
+// assertion for the full scrape path (vectors → registry → snapshot →
+// exposition).
+func TestServeDebugScrapeUnderWriters(t *testing.T) {
+	withEnabled(t, func() {
+		addr, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		get := func(path string) string {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+
+		cv := CV("scrape_ops_total", "w")
+		hv := HV("scrape_lat_ns", "w")
+		const workers, per = 4, 2000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					cv.Inc(id)
+					hv.Observe(int64(i%1024+1), id)
+				}
+			}(string(rune('a' + w)))
+		}
+
+		// A Prometheus exposition line: name, optional {labels}, one
+		// space, a number (or +Inf-free float). Scrape while writers run
+		// and hold every line to it.
+		lineRE := regexp.MustCompile(`^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9+.eE-]+(ns)?$`)
+		for i := 0; i < 20; i++ {
+			body := get("/metrics")
+			for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+				if !lineRE.MatchString(line) {
+					t.Fatalf("malformed exposition line under load: %q", line)
+				}
+			}
+			var vars map[string]json.RawMessage
+			if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+				t.Fatalf("/debug/vars invalid JSON under load: %v", err)
+			}
+			if _, ok := vars["streambalance"]; !ok {
+				t.Fatal("/debug/vars missing streambalance snapshot")
+			}
+		}
+		wg.Wait()
+
+		// Drained: exact counts must appear verbatim on both surfaces.
+		body := get("/metrics")
+		for w := 0; w < workers; w++ {
+			id := string(rune('a' + w))
+			if want := `scrape_ops_total{w="` + id + `"} 2000`; !strings.Contains(body, want+"\n") {
+				t.Fatalf("/metrics missing %q:\n%.400s", want, body)
+			}
+			if want := `scrape_lat_ns_count{w="` + id + `"} 2000`; !strings.Contains(body, want+"\n") {
+				t.Fatalf("/metrics missing %q", want)
+			}
+			if want := `scrape_lat_ns{w="` + id + `",quantile="0.5"} `; !strings.Contains(body, want) {
+				t.Fatalf("/metrics missing quantile line %q", want)
+			}
+		}
+		var snap struct {
+			Streambalance Snapshot `json:"streambalance"`
+		}
+		if err := json.Unmarshal([]byte(get("/debug/vars")), &snap); err != nil {
+			t.Fatal(err)
+		}
+		if got := snap.Streambalance.Counters[`scrape_ops_total{w="a"}`]; got != per {
+			t.Fatalf("/debug/vars counter = %d, want %d", got, per)
+		}
+		if body := get("/debug/series"); !strings.Contains(body, `"rate_per_sec"`) {
+			t.Fatalf("/debug/series missing rates:\n%s", body)
+		}
+	})
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // MetricsHandler serves the Default registry in Prometheus text
@@ -16,18 +18,34 @@ func MetricsHandler() http.Handler {
 	})
 }
 
-// SpansHandler serves the process tracer's recorded spans as text.
+// SpansHandler serves the process tracer's recorded spans as text: a
+// header with ring accounting (total recorded, how many the ring
+// overwrote and can no longer show), the flat span list, then the
+// assembled per-trace trees for spans that carried trace contexts.
 func SpansHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# spans_total=%d spans_dropped=%d\n", Trace.Total(), Trace.Dropped())
 		_ = Trace.WriteSpans(w)
+		fmt.Fprintln(w)
+		_ = Trace.WriteTraces(w)
+	})
+}
+
+// SeriesHandler serves the DefaultSeries window — per-counter rates over
+// the sampled window as JSON; ?points=1 appends the raw snapshots.
+func SeriesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = DefaultSeries.WriteJSON(w, r.URL.Query().Get("points") == "1")
 	})
 }
 
 // DebugMux returns the debug surface the -debug-addr CLI flags serve:
 //
 //	/metrics          Prometheus text exposition of the Default registry
-//	/debug/spans      the span flight recorder, oldest first
+//	/debug/spans      the span flight recorder + assembled traces
+//	/debug/series     windowed counter rates from the background sampler
 //	/debug/vars       expvar JSON (includes the published snapshot)
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
@@ -38,6 +56,7 @@ func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler())
 	mux.Handle("/debug/spans", SpansHandler())
+	mux.Handle("/debug/series", SeriesHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -59,6 +78,7 @@ func ServeDebug(addr string) (string, error) {
 	}
 	Enable()
 	Trace.Enable()
+	StartSampler(time.Second)
 	srv := &http.Server{Handler: DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil

@@ -141,6 +141,9 @@ func TestWritePromGolden(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := `aa_first_total{level="3"} 2
+lat_ns{quantile="0.5"} 2
+lat_ns{quantile="0.95"} 3.8
+lat_ns{quantile="0.99"} 3.96
 lat_ns_bucket{le="0"} 1
 lat_ns_bucket{le="2"} 2
 lat_ns_bucket{le="4"} 4
@@ -148,6 +151,9 @@ lat_ns_bucket{le="+Inf"} 4
 lat_ns_sum 7
 lat_ns_count 4
 mid_gauge 1.5
+round_ns{round="2",quantile="0.5"} 3
+round_ns{round="2",quantile="0.95"} 3.9
+round_ns{round="2",quantile="0.99"} 3.98
 round_ns_bucket{round="2",le="0"} 0
 round_ns_bucket{round="2",le="2"} 0
 round_ns_bucket{round="2",le="4"} 1

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestQuantileAgainstExact pins the log2-bucket estimator against exact
+// quantiles on synthetic distributions. The estimator interpolates
+// inside a power-of-two bucket, so the contract is relative: an
+// estimate may be off by at most the bucket width — within a factor of
+// 2 of the exact value — and must be monotone in q.
+func TestQuantileAgainstExact(t *testing.T) {
+	withEnabled(t, func() {
+		rng := rand.New(rand.NewSource(42))
+		dists := map[string]func() int64{
+			"uniform_1e6":  func() int64 { return 1 + rng.Int63n(1_000_000) },
+			"exponentialy": func() int64 { return int64(rng.ExpFloat64()*50_000) + 1 },
+			"bimodal":      func() int64 { return []int64{100, 100_000}[rng.Intn(2)] + rng.Int63n(50) },
+		}
+		qs := []float64{0.5, 0.95, 0.99}
+		for name, draw := range dists {
+			r := NewRegistry()
+			h := r.Histogram("q_ns")
+			const n = 20_000
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = draw()
+				h.Observe(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			prevEst := 0.0
+			for _, q := range qs {
+				exact := float64(vals[int(q*float64(n))-1])
+				est := h.Quantile(q)
+				if est < exact/2 || est > exact*2 {
+					t.Errorf("%s q=%g: estimate %g outside [%g, %g] (exact %g)",
+						name, q, est, exact/2, exact*2, exact)
+				}
+				if est < prevEst {
+					t.Errorf("%s: estimator not monotone: q=%g gave %g after %g", name, q, est, prevEst)
+				}
+				prevEst = est
+			}
+		}
+	})
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	withEnabled(t, func() {
+		var empty *Histogram
+		if got := empty.Quantile(0.5); got != 0 {
+			t.Fatalf("nil histogram quantile = %g, want 0", got)
+		}
+		r := NewRegistry()
+		h := r.Histogram("edge_ns")
+		if got := h.Quantile(0.99); got != 0 {
+			t.Fatalf("empty histogram quantile = %g, want 0", got)
+		}
+		// All observations non-positive land in the ≤0 bucket and
+		// estimate as 0.
+		h.Observe(0)
+		h.Observe(-5)
+		if got := h.Quantile(0.99); got != 0 {
+			t.Fatalf("non-positive histogram quantile = %g, want 0", got)
+		}
+		// Out-of-range q clamps instead of panicking.
+		h2 := r.Histogram("edge2_ns")
+		h2.Observe(8)
+		if lo, hi := h2.Quantile(-1), h2.Quantile(2); lo < 0 || hi > 16 {
+			t.Fatalf("clamped quantiles out of bucket range: %g, %g", lo, hi)
+		}
+	})
+}
+
+// TestSnapshotCarriesQuantiles pins that Snapshot (and therefore
+// /debug/vars and WriteJSON) exposes the fixed p50/p95/p99 set.
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Histogram("sq_ns").Observe(100)
+		hs := r.Snapshot().Hists["sq_ns"]
+		for _, key := range []string{"0.5", "0.95", "0.99"} {
+			v, ok := hs.Quantiles[key]
+			if !ok {
+				t.Fatalf("snapshot quantiles missing %q: %v", key, hs.Quantiles)
+			}
+			if v < 64 || v > 128 {
+				t.Fatalf("quantile %q = %g, want within bucket [64, 128]", key, v)
+			}
+		}
+		r.Histogram("sq_empty_ns") // registered, never observed
+		if empty := r.Snapshot().Hists["sq_empty_ns"]; empty.Quantiles != nil {
+			t.Fatalf("empty hist produced quantiles: %v", empty.Quantiles)
+		}
+	})
+}

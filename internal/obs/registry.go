@@ -167,11 +167,64 @@ func (b *HistBucket) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// HistSnapshot is a point-in-time copy of a histogram. Quantiles holds
+// the standard p50/p95/p99 estimates (keys "0.5", "0.95", "0.99") when
+// the histogram has observations.
 type HistSnapshot struct {
-	Count   int64        `json:"count"`
-	Sum     int64        `json:"sum"`
-	Buckets []HistBucket `json:"buckets,omitempty"`
+	Count     int64              `json:"count"`
+	Sum       int64              `json:"sum"`
+	Buckets   []HistBucket       `json:"buckets,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// promQuantiles is the fixed set WriteProm and snapshots expose, in
+// emission order.
+var promQuantiles = []struct {
+	key string
+	q   float64
+}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// log2 buckets by rank walk with linear interpolation inside the
+// selected bucket. Resolution is bounded by the bucket width — an
+// estimate is exact only up to a factor of 2 of the true value (the
+// bucket covering it), which is the deliberate trade of the fixed
+// 65-bucket layout. Returns 0 for an empty snapshot; values in the ≤0
+// bucket estimate as 0.
+func (hs HistSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var prev int64
+	for _, b := range hs.Buckets {
+		if float64(b.Count) < rank || b.Count == prev {
+			prev = b.Count
+			continue
+		}
+		if b.Le <= 0 {
+			return 0
+		}
+		if math.IsInf(b.Le, 1) {
+			// Unreachable with the fixed 65-bucket layout (the top
+			// finite bucket already accumulates Count), kept for
+			// snapshots deserialized from other sources.
+			return hs.Buckets[len(hs.Buckets)-1].Le
+		}
+		lo := b.Le / 2
+		frac := (rank - float64(prev)) / float64(b.Count-prev)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + frac*(b.Le-lo)
+	}
+	return 0
 }
 
 // Snapshot is a point-in-time copy of a registry. Map keys are metric
@@ -230,7 +283,22 @@ func snapshotHist(h *Histogram) HistSnapshot {
 		hs.Buckets = append(hs.Buckets, HistBucket{Le: le, Count: cum})
 	}
 	hs.Buckets = append(hs.Buckets, HistBucket{Le: inf, Count: hs.Count})
+	if hs.Count > 0 {
+		hs.Quantiles = make(map[string]float64, len(promQuantiles))
+		for _, pq := range promQuantiles {
+			hs.Quantiles[pq.key] = hs.Quantile(pq.q)
+		}
+	}
 	return hs
+}
+
+// Quantile estimates the q-quantile of the histogram's current
+// observations; see HistSnapshot.Quantile for resolution semantics.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return snapshotHist(h).Quantile(q)
 }
 
 var inf = math.Inf(1)
@@ -272,6 +340,15 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		base, labels := n, ""
 		if i := strings.IndexByte(n, '{'); i >= 0 && strings.HasSuffix(n, "}") {
 			base, labels = n[:i], n[i+1:len(n)-1]+","
+		}
+		// Summary-style quantile estimates first (skipped while empty,
+		// like a Prometheus summary reporting NaN).
+		for _, pq := range promQuantiles {
+			if v, ok := h.Quantiles[pq.key]; ok {
+				if _, err := fmt.Fprintf(w, "%s{%squantile=%q} %g\n", base, labels, pq.key, v); err != nil {
+					return err
+				}
+			}
 		}
 		for _, b := range h.Buckets {
 			le := "+Inf"

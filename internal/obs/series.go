@@ -1,0 +1,201 @@
+package obs
+
+// Series is a fixed-window time series over a Registry: a ring buffer of
+// the last N snapshots, each stamped by an injectable clock. It is the
+// primitive behind rate queries — counters are monotone, so the rate over
+// the window is (newest − oldest) / Δt — and the SLO windows a serving
+// deployment (ROADMAP item 1, bcserved) needs: keep one snapshot per
+// scrape interval and any percentile-of-window or burn-rate question
+// reduces to a walk over at most N samples. Recording is O(metrics) and
+// takes only the registry's per-value atomic loads; readers copy the
+// window under the series mutex.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SeriesPoint is one recorded snapshot with its timestamp (nanoseconds,
+// from the series clock — wall UnixNano by default, deterministic under
+// SetClock).
+type SeriesPoint struct {
+	AtNS int64    `json:"at_ns"`
+	Snap Snapshot `json:"snapshot"`
+}
+
+// Series is a fixed-capacity ring of registry snapshots.
+type Series struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	clock func() int64
+	ring  []SeriesPoint
+	head  int   // index of the oldest point once the ring has wrapped
+	total int64 // points ever recorded
+}
+
+// NewSeries returns an empty series over r (Default when nil) holding
+// the last capacity snapshots (minimum 2 — a rate needs two points).
+func NewSeries(r *Registry, capacity int) *Series {
+	if r == nil {
+		r = Default
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{reg: r, ring: make([]SeriesPoint, 0, capacity)}
+}
+
+// DefaultSeries is the process-wide series over the Default registry:
+// 120 samples, which at the 1 s sampler interval ServeDebug starts is a
+// two-minute rate window.
+var DefaultSeries = NewSeries(nil, 120)
+
+// SetClock installs a deterministic nanosecond clock — for tests.
+func (s *Series) SetClock(f func() int64) {
+	s.mu.Lock()
+	s.clock = f
+	s.mu.Unlock()
+}
+
+// Record snapshots the registry now and appends it to the window.
+func (s *Series) Record() {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := time.Now().UnixNano()
+	if s.clock != nil {
+		at = s.clock()
+	}
+	p := SeriesPoint{AtNS: at, Snap: snap}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, p)
+	} else {
+		s.ring[s.head] = p
+		s.head++
+		if s.head == cap(s.ring) {
+			s.head = 0
+		}
+	}
+	s.total++
+}
+
+// Points returns the recorded window, oldest first.
+func (s *Series) Points() []SeriesPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesPoint, 0, len(s.ring))
+	out = append(out, s.ring[s.head:]...)
+	out = append(out, s.ring[:s.head]...)
+	return out
+}
+
+// Len returns how many points the window currently holds.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Reset discards the recorded window.
+func (s *Series) Reset() {
+	s.mu.Lock()
+	s.ring = s.ring[:0]
+	s.head = 0
+	s.total = 0
+	s.mu.Unlock()
+}
+
+// bounds returns the oldest and newest points, or ok=false with fewer
+// than two points (no interval to rate over).
+func (s *Series) bounds() (oldest, newest SeriesPoint, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < 2 {
+		return SeriesPoint{}, SeriesPoint{}, false
+	}
+	oldest = s.ring[s.head]
+	newest = s.ring[(s.head+len(s.ring)-1)%len(s.ring)]
+	return oldest, newest, true
+}
+
+// Rate returns the named counter's per-second rate over the recorded
+// window — (newest − oldest) / Δt — or 0 when the window holds fewer
+// than two points, spans no time, or never saw the counter.
+func (s *Series) Rate(name string) float64 {
+	oldest, newest, ok := s.bounds()
+	if !ok || newest.AtNS <= oldest.AtNS {
+		return 0
+	}
+	dv := newest.Snap.Counters[name] - oldest.Snap.Counters[name]
+	return float64(dv) / (float64(newest.AtNS-oldest.AtNS) / 1e9)
+}
+
+// Rates returns the per-second window rate of every counter present in
+// the newest snapshot (zero-delta counters included, so the key set is
+// stable across scrapes).
+func (s *Series) Rates() map[string]float64 {
+	oldest, newest, ok := s.bounds()
+	if !ok || newest.AtNS <= oldest.AtNS {
+		return map[string]float64{}
+	}
+	dt := float64(newest.AtNS-oldest.AtNS) / 1e9
+	out := make(map[string]float64, len(newest.Snap.Counters))
+	for name, v := range newest.Snap.Counters {
+		out[name] = float64(v-oldest.Snap.Counters[name]) / dt
+	}
+	return out
+}
+
+// seriesView is the JSON shape WriteJSON / /debug/series serve.
+type seriesView struct {
+	Samples    int                `json:"samples"`
+	Total      int64              `json:"total_recorded"`
+	WindowSec  float64            `json:"window_sec"`
+	RatePerSec map[string]float64 `json:"rate_per_sec"`
+	Points     []SeriesPoint      `json:"points,omitempty"`
+}
+
+// WriteJSON writes the window summary — sample count, window span and
+// per-counter rates — as indented JSON; withPoints appends the raw
+// snapshots. Map keys marshal sorted, so output is deterministic for
+// given values.
+func (s *Series) WriteJSON(w io.Writer, withPoints bool) error {
+	view := seriesView{RatePerSec: s.Rates()}
+	if oldest, newest, ok := s.bounds(); ok {
+		view.WindowSec = float64(newest.AtNS-oldest.AtNS) / 1e9
+	}
+	s.mu.Lock()
+	view.Samples = len(s.ring)
+	view.Total = s.total
+	s.mu.Unlock()
+	if withPoints {
+		view.Points = s.Points()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(view)
+}
+
+var samplerOnce sync.Once
+
+// StartSampler records DefaultSeries every interval in a background
+// goroutine for the remaining life of the process (the debug-server
+// pattern; ServeDebug calls it with 1 s). Only the first call starts a
+// sampler; later calls are no-ops.
+func StartSampler(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	samplerOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for range t.C {
+				DefaultSeries.Record()
+			}
+		}()
+	})
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock returns a deterministic nanosecond clock advancing stepNS per
+// Record.
+func fakeClock(startNS, stepNS int64) func() int64 {
+	t := startNS - stepNS
+	return func() int64 {
+		t += stepNS
+		return t
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	r := NewRegistry()
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+
+	s := NewSeries(r, 10)
+	s.SetClock(fakeClock(0, 1e9)) // one snapshot per second
+	c := r.Counter("st_ops_total")
+
+	s.Record() // t=0s, ops=0
+	c.Add(100)
+	s.Record() // t=1s, ops=100
+	c.Add(300)
+	s.Record() // t=2s, ops=400
+
+	// (400-0) / 2s
+	if got := s.Rate("st_ops_total"); got != 200 {
+		t.Fatalf("Rate = %v, want 200", got)
+	}
+	if got := s.Rate("st_never_seen_total"); got != 0 {
+		t.Fatalf("Rate of unseen counter = %v, want 0", got)
+	}
+	rates := s.Rates()
+	if rates["st_ops_total"] != 200 {
+		t.Fatalf("Rates = %v, want st_ops_total=200", rates)
+	}
+}
+
+func TestSeriesWindowEviction(t *testing.T) {
+	r := NewRegistry()
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+
+	s := NewSeries(r, 3)
+	s.SetClock(fakeClock(0, 1e9))
+	c := r.Counter("st_win_total")
+
+	for i := 0; i < 5; i++ {
+		c.Add(10)
+		s.Record()
+	}
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("window holds %d points, capacity 3", len(pts))
+	}
+	// Records happened at t=0..4s holding 10..50; the window keeps the
+	// last three (t=2,3,4 with 30,40,50) oldest first.
+	wantAt := []int64{2e9, 3e9, 4e9}
+	wantV := []int64{30, 40, 50}
+	for i, p := range pts {
+		if p.AtNS != wantAt[i] || p.Snap.Counters["st_win_total"] != wantV[i] {
+			t.Fatalf("point %d = (t=%d, v=%d), want (t=%d, v=%d)",
+				i, p.AtNS, p.Snap.Counters["st_win_total"], wantAt[i], wantV[i])
+		}
+	}
+	// Rate over the retained window: (50-30)/2s.
+	if got := s.Rate("st_win_total"); got != 10 {
+		t.Fatalf("Rate over evicted window = %v, want 10", got)
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	r := NewRegistry()
+	s := NewSeries(r, 0) // clamped to 2
+	if got := s.Rate("anything"); got != 0 {
+		t.Fatalf("Rate on empty series = %v, want 0", got)
+	}
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+	s.SetClock(fakeClock(5, 0)) // zero-width window
+	s.Record()
+	s.Record()
+	if got := s.Rate("anything"); got != 0 {
+		t.Fatalf("Rate over zero-width window = %v, want 0", got)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+}
+
+func TestSeriesWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	prev := Enabled()
+	Enable()
+	defer SetEnabled(prev)
+
+	s := NewSeries(r, 4)
+	s.SetClock(fakeClock(0, 1e9))
+	c := r.Counter("st_json_total")
+	s.Record()
+	c.Add(7)
+	s.Record()
+
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"samples": 2`,
+		`"total_recorded": 2`,
+		`"window_sec": 1`,
+		`"st_json_total": 7`,
+		`"points"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteJSON output missing %q:\n%s", want, out)
+		}
+	}
+}

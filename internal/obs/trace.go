@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"encoding/hex"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,12 +15,44 @@ import (
 // Event is one completed span in a Tracer's ring buffer. Start is
 // nanoseconds since the tracer's epoch (process-relative, monotonic),
 // Dur the span's duration in nanoseconds, Attrs a space-separated
-// "key=value" list set via Span.Attr.
+// "key=value" list set via Span.Attr. Trace/Span/Parent are lowercase
+// hex trace-context ids (W3C traceparent widths: 16-byte trace id,
+// 8-byte span id); all three are empty for spans started with plain
+// Start, so pre-context recordings and goldens are unchanged.
 type Event struct {
-	Name  string `json:"name"`
-	Start int64  `json:"start_ns"`
-	Dur   int64  `json:"dur_ns"`
-	Attrs string `json:"attrs,omitempty"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Attrs  string `json:"attrs,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// TraceContext identifies a span's position in a distributed trace:
+// W3C-style 16-byte trace id shared by every span of one logical
+// operation plus the 8-byte id of the span itself. It is a value type
+// sized for wire headers — the dist codec carries it as an optional
+// 24-byte frame prefix so machine- and link-side spans assemble into
+// one tree at /debug/spans.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// Valid reports whether the context names a real span (both ids
+// nonzero, mirroring the W3C invalid-id rule).
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// String renders "traceid-spanid" in lowercase hex, or "invalid" for
+// the zero context.
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return "invalid"
+	}
+	return hex.EncodeToString(tc.TraceID[:]) + "-" + hex.EncodeToString(tc.SpanID[:])
 }
 
 // Tracer records phase spans into a fixed-capacity ring buffer — a
@@ -27,14 +62,17 @@ type Event struct {
 // tracer is disabled, Start is a nil-check plus one atomic load and
 // returns an inert Span whose methods are nil-checks.
 type Tracer struct {
-	on    atomic.Bool
-	epoch time.Time
+	on     atomic.Bool
+	epoch  time.Time
+	idwalk atomic.Uint64 // splitmix64 state for default span/trace ids
 
-	mu    sync.Mutex
-	clock func() int64 // test hook; nil = monotonic since epoch
-	ring  []Event
-	head  int   // index of the oldest event once the ring has wrapped
-	total int64 // events ever recorded
+	mu      sync.Mutex
+	clock   func() int64  // test hook; nil = monotonic since epoch
+	idsrc   func() uint64 // test hook; nil = splitmix64 walk
+	ring    []Event
+	head    int   // index of the oldest event once the ring has wrapped
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten by the ring (total - len(ring))
 }
 
 // NewTracer returns a disabled tracer with the given ring capacity
@@ -43,7 +81,12 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{epoch: time.Now(), ring: make([]Event, 0, capacity)}
+	t := &Tracer{epoch: time.Now(), ring: make([]Event, 0, capacity)}
+	// Seed the id walk from the wall clock so concurrently started
+	// processes mint distinct trace ids (required for multi-machine
+	// trace assembly to not alias).
+	t.idwalk.Store(uint64(time.Now().UnixNano()))
+	return t
 }
 
 // Trace is the process-wide tracer (4096-span flight recorder),
@@ -77,6 +120,45 @@ func (t *Tracer) now() int64 {
 	return int64(time.Since(t.epoch))
 }
 
+// SetIDSource installs a deterministic id generator — for golden tests.
+// Each trace id consumes two values, each span id one.
+func (t *Tracer) SetIDSource(f func() uint64) {
+	t.mu.Lock()
+	t.idsrc = f
+	t.mu.Unlock()
+}
+
+// nextID returns a nonzero pseudo-random 64-bit id: a splitmix64 step
+// over an atomic walk (lock-free, good dispersion), or the injected
+// test source.
+func (t *Tracer) nextID() uint64 {
+	t.mu.Lock()
+	f := t.idsrc
+	t.mu.Unlock()
+	if f != nil {
+		if v := f(); v != 0 {
+			return v
+		}
+		return 1
+	}
+	x := t.idwalk.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
 // Start begins a span. When the tracer is nil or disabled the returned
 // span is inert: Attr and End are nil-check no-ops.
 func (t *Tracer) Start(name string) Span {
@@ -89,6 +171,44 @@ func (t *Tracer) Start(name string) Span {
 // StartSpan begins a span on the process-wide tracer.
 func StartSpan(name string) Span { return Trace.Start(name) }
 
+// StartRoot begins a span that roots a new distributed trace: it mints
+// a fresh 16-byte trace id and an 8-byte span id, so children (local or
+// across the dist wire) can parent onto it via StartChild. Inert when
+// the tracer is nil or disabled.
+func (t *Tracer) StartRoot(name string) Span {
+	if t == nil || !t.on.Load() {
+		return Span{}
+	}
+	sp := Span{t: t, name: name, start: t.now()}
+	put64(sp.tc.TraceID[:8], t.nextID())
+	put64(sp.tc.TraceID[8:], t.nextID())
+	put64(sp.tc.SpanID[:], t.nextID())
+	return sp
+}
+
+// StartChild begins a span inside the trace identified by parent —
+// typically a context detached from a dist wire frame. It inherits the
+// parent's trace id and records the parent span id; an invalid parent
+// degrades to a plain untraced Start so callers need not special-case
+// frames sent by pre-context peers.
+func (t *Tracer) StartChild(parent TraceContext, name string) Span {
+	if t == nil || !t.on.Load() {
+		return Span{}
+	}
+	sp := Span{t: t, name: name, start: t.now()}
+	if parent.Valid() {
+		sp.tc.TraceID = parent.TraceID
+		put64(sp.tc.SpanID[:], t.nextID())
+		sp.parent = parent.SpanID
+	}
+	return sp
+}
+
+// mSpansDropped mirrors Tracer.Dropped for the process tracer on the
+// metrics surface; it only moves while metrics are enabled, so the
+// tracer-local count is authoritative.
+var mSpansDropped = C("obs_spans_dropped_total")
+
 func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
 	if len(t.ring) < cap(t.ring) {
@@ -98,6 +218,10 @@ func (t *Tracer) record(ev Event) {
 		t.head++
 		if t.head == cap(t.ring) {
 			t.head = 0
+		}
+		t.dropped++
+		if t == Trace {
+			mSpansDropped.Inc()
 		}
 	}
 	t.total++
@@ -122,26 +246,43 @@ func (t *Tracer) Total() int64 {
 	return t.total
 }
 
-// Reset discards all recorded spans.
+// Dropped returns how many recorded spans the ring has overwritten —
+// spans Events() can no longer show. The process tracer also mirrors
+// this as obs_spans_dropped_total.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all recorded spans and the drop count.
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.ring = t.ring[:0]
 	t.head = 0
 	t.total = 0
+	t.dropped = 0
 	t.mu.Unlock()
 }
 
 // WriteSpans writes the recorded spans oldest-first, one line per span:
 //
-//	<name>  start=<ns> dur=<ns>  <attrs>
+//	<name>  start=<ns> dur=<ns>  <attrs>  [trace=<id> span=<id> [parent=<id>]]
 //
-// The format is stable (golden-tested); timestamps are deterministic
-// only under SetClock.
+// The format is stable (golden-tested); untraced spans render exactly
+// as before trace contexts existed. Timestamps are deterministic only
+// under SetClock.
 func (t *Tracer) WriteSpans(w io.Writer) error {
 	for _, ev := range t.Events() {
 		line := fmt.Sprintf("%-28s start=%dns dur=%dns", ev.Name, ev.Start, ev.Dur)
 		if ev.Attrs != "" {
 			line += "  " + ev.Attrs
+		}
+		if ev.Trace != "" {
+			line += "  trace=" + ev.Trace + " span=" + ev.Span
+			if ev.Parent != "" {
+				line += " parent=" + ev.Parent
+			}
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
@@ -150,18 +291,98 @@ func (t *Tracer) WriteSpans(w io.Writer) error {
 	return nil
 }
 
+// WriteTraces assembles the traced subset of the recorded spans into
+// per-trace trees — children indented under their parent, timestamps as
+// offsets from the trace's earliest span — so a multi-machine dist run
+// whose frames carried trace contexts reads as one operation:
+//
+//	trace 0102..0f10 (3 spans)
+//	  dist.run                   +0ns dur=900ns
+//	    dist.machine             +40ns dur=300ns  machine=1
+//
+// Spans whose parent fell out of the ring (or ran in a process whose
+// spans were never merged) render as additional roots of their trace.
+// Traces appear in order of their earliest span; untraced spans are
+// skipped (WriteSpans shows them).
+func (t *Tracer) WriteTraces(w io.Writer) error {
+	events := t.Events()
+	byTrace := map[string][]Event{}
+	var order []string
+	for _, ev := range events {
+		if ev.Trace == "" {
+			continue
+		}
+		if _, seen := byTrace[ev.Trace]; !seen {
+			order = append(order, ev.Trace)
+		}
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+	}
+	for _, id := range order {
+		evs := byTrace[id]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		epoch := evs[0].Start
+		present := make(map[string]bool, len(evs))
+		for _, ev := range evs {
+			present[ev.Span] = true
+		}
+		children := map[string][]Event{}
+		var roots []Event
+		for _, ev := range evs {
+			if ev.Parent != "" && present[ev.Parent] {
+				children[ev.Parent] = append(children[ev.Parent], ev)
+			} else {
+				roots = append(roots, ev)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "trace %s (%d spans)\n", id, len(evs)); err != nil {
+			return err
+		}
+		var walk func(ev Event, depth int) error
+		walk = func(ev Event, depth int) error {
+			pad := strings.Repeat("  ", depth+1)
+			line := fmt.Sprintf("%s%-*s +%dns dur=%dns", pad, 28-len(pad), ev.Name, ev.Start-epoch, ev.Dur)
+			if ev.Attrs != "" {
+				line += "  " + ev.Attrs
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			for _, c := range children[ev.Span] {
+				if err := walk(c, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, r := range roots {
+			if err := walk(r, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Span is one in-flight phase span. The zero Span (from a disabled
 // tracer) is inert.
 type Span struct {
-	t     *Tracer
-	name  string
-	start int64
-	attrs string
+	t      *Tracer
+	name   string
+	start  int64
+	attrs  string
+	tc     TraceContext // zero for plain Start spans
+	parent [8]byte
 }
 
 // Active reports whether the span records anything — use it to gate
 // attribute computation that is itself expensive.
 func (sp *Span) Active() bool { return sp.t != nil }
+
+// Context returns the span's trace context — attach it to outbound wire
+// frames so the receiving process can StartChild under this span. The
+// zero context (inert span, or one started with plain Start) is not
+// Valid and attaches nothing.
+func (sp *Span) Context() TraceContext { return sp.tc }
 
 // Attr appends a key=value attribute to the span.
 func (sp *Span) Attr(key, value string) {
@@ -196,6 +417,14 @@ func (sp *Span) End() {
 		return
 	}
 	now := sp.t.now()
-	sp.t.record(Event{Name: sp.name, Start: sp.start, Dur: now - sp.start, Attrs: sp.attrs})
+	ev := Event{Name: sp.name, Start: sp.start, Dur: now - sp.start, Attrs: sp.attrs}
+	if sp.tc.Valid() {
+		ev.Trace = hex.EncodeToString(sp.tc.TraceID[:])
+		ev.Span = hex.EncodeToString(sp.tc.SpanID[:])
+		if sp.parent != ([8]byte{}) {
+			ev.Parent = hex.EncodeToString(sp.parent[:])
+		}
+	}
+	sp.t.record(ev)
 	sp.t = nil
 }

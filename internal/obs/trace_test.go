@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +72,152 @@ func TestDisabledTracerInert(t *testing.T) {
 	var nilTr *Tracer
 	nsp := nilTr.Start("y")
 	nsp.End() // must not panic
+}
+
+// seqIDs returns a deterministic id source: 1, 2, 3, ...
+func seqIDs() func() uint64 {
+	var n uint64
+	return func() uint64 { n++; return n }
+}
+
+// TestTraceContextPropagation walks the full cross-process choreography
+// locally: a root span, a child parented through an extracted
+// TraceContext (as the dist wire does), and a grandchild — then pins
+// both the flat WriteSpans suffixes and the WriteTraces tree with
+// deterministic ids and clock.
+func TestTraceContextPropagation(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable()
+	var tick int64
+	tr.SetClock(func() int64 { tick += 100; return tick })
+	tr.SetIDSource(seqIDs())
+
+	root := tr.StartRoot("dist.run") // trace id = 1,2; span id = 3
+	rc := root.Context()
+	if !rc.Valid() {
+		t.Fatal("root context invalid")
+	}
+	child := tr.StartChild(rc, "dist.machine") // span id = 4
+	child.AttrInt("machine", 1)
+	grand := tr.StartChild(child.Context(), "dist.link") // span id = 5
+	grand.End()
+	child.End()
+	root.End()
+
+	if child.Context().TraceID != rc.TraceID {
+		t.Fatal("child did not inherit trace id")
+	}
+	var spans strings.Builder
+	if err := tr.WriteSpans(&spans); err != nil {
+		t.Fatal(err)
+	}
+	wantSpans := "dist.link                    start=300ns dur=100ns  trace=00000000000000010000000000000002 span=0000000000000005 parent=0000000000000004\n" +
+		"dist.machine                 start=200ns dur=300ns  machine=1  trace=00000000000000010000000000000002 span=0000000000000004 parent=0000000000000003\n" +
+		"dist.run                     start=100ns dur=500ns  trace=00000000000000010000000000000002 span=0000000000000003\n"
+	if got := spans.String(); got != wantSpans {
+		t.Fatalf("WriteSpans:\n%q\nwant:\n%q", got, wantSpans)
+	}
+
+	var tree strings.Builder
+	if err := tr.WriteTraces(&tree); err != nil {
+		t.Fatal(err)
+	}
+	wantTree := "trace 00000000000000010000000000000002 (3 spans)\n" +
+		"  dist.run                   +0ns dur=500ns\n" +
+		"    dist.machine             +100ns dur=300ns  machine=1\n" +
+		"      dist.link              +200ns dur=100ns\n"
+	if got := tree.String(); got != wantTree {
+		t.Fatalf("WriteTraces:\n%q\nwant:\n%q", got, wantTree)
+	}
+}
+
+func TestStartChildInvalidParent(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	sp := tr.StartChild(TraceContext{}, "orphan")
+	if sp.Context().Valid() {
+		t.Fatal("child of invalid parent got a context")
+	}
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Trace != "" || evs[0].Parent != "" {
+		t.Fatalf("orphan span carries trace fields: %+v", evs)
+	}
+}
+
+// TestOrphanSpanRendersAsRoot: a child whose parent span fell out of
+// the ring (or lives in an unmerged process) must still render under
+// its trace, as a root.
+func TestOrphanSpanRendersAsRoot(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Enable()
+	tr.SetIDSource(seqIDs())
+	parent := TraceContext{}
+	parent.TraceID[15] = 9
+	parent.SpanID[7] = 9 // never recorded locally
+	sp := tr.StartChild(parent, "remote.child")
+	sp.End()
+	var sb strings.Builder
+	if err := tr.WriteTraces(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "remote.child") {
+		t.Fatalf("orphaned child missing from WriteTraces:\n%s", out)
+	}
+}
+
+// TestSpansDroppedAccounting overflows the ring and checks the drop
+// counter — the regression test for overflow being silent.
+func TestSpansDroppedAccounting(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("s")
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6 (10 recorded, ring of 4)", got)
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear drop count")
+	}
+}
+
+// TestProcessTracerDropCounter pins the metric mirror on the process
+// tracer and its surfacing in the /debug/spans header.
+func TestProcessTracerDropCounter(t *testing.T) {
+	withEnabled(t, func() {
+		prevOn := Trace.Enabled()
+		Trace.Enable()
+		defer func() {
+			if !prevOn {
+				Trace.Disable()
+			}
+		}()
+		Trace.Reset()
+		mSpansDropped.reset()
+
+		overflow := cap(Trace.ring) + 50
+		for i := 0; i < overflow; i++ {
+			sp := Trace.Start("of")
+			sp.End()
+		}
+		if got := Trace.Dropped(); got != 50 {
+			t.Fatalf("process tracer Dropped = %d, want 50", got)
+		}
+		if got := mSpansDropped.Load(); got != 50 {
+			t.Fatalf("obs_spans_dropped_total = %d, want 50", got)
+		}
+		rec := httptest.NewRecorder()
+		SpansHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+		if body := rec.Body.String(); !strings.Contains(body, "spans_dropped=50") {
+			t.Fatalf("/debug/spans missing drop count header:\n%.200s", body)
+		}
+		Trace.Reset()
+		mSpansDropped.reset()
+	})
 }
 
 // TestTracerParallel drives spans from many goroutines under -race.

@@ -28,6 +28,7 @@ var (
 	mCacheMergeKeeps      = obs.C("sketch_cache_merge_keeps_total")
 	mCacheMergeSkips      = obs.C("sketch_cache_merge_skips_total")
 	mDecodeFail           = obs.C("sketch_decode_fail_total")
+	vDecodeFail           = obs.CV("sketch_decode_fail_total", "level")
 	mDecodeNS             = obs.H("sketch_decode_ns")
 )
 
@@ -359,7 +360,7 @@ func (st *Storing) ResultArena(a *DecodeArena) (StoringResult, bool) {
 	mDecodeNS.ObserveSince(t0)
 	if !ok && obs.Enabled() {
 		mDecodeFail.Inc()
-		obs.C(`sketch_decode_fail_total{level="` + strconv.Itoa(st.level) + `"}`).Inc()
+		vDecodeFail.Inc(strconv.Itoa(st.level))
 	}
 	st.cache, st.cacheOK = res, ok
 	st.cacheEpoch, st.cacheValid = st.epoch, true

@@ -395,6 +395,7 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 			sp.Attr("via", "estimate")
 			sp.AttrFloat("o", cs.O)
 			mGuessSelected.Set(cs.O)
+			markGuess(cs.O, "selected")
 			return cs, nil
 		}
 	}
@@ -429,9 +430,11 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 			break
 		}
 		mGuessAttempts.Inc()
+		markGuess(a.guesses[i], "attempt")
 		cs, err := s.resultWith(workers)
 		if err != nil {
 			mGuessFails.Inc()
+			markGuess(a.guesses[i], "fail")
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -440,11 +443,13 @@ func (a *Auto) resultWith(workers int) (*coreset.Coreset, error) {
 		w := cs.TotalWeight()
 		if math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
 			mGuessRejects.Inc()
+			markGuess(a.guesses[i], "reject")
 			continue
 		}
 		sp.Attr("via", "scan")
 		sp.AttrFloat("o", cs.O)
 		mGuessSelected.Set(cs.O)
+		markGuess(a.guesses[i], "selected")
 		return cs, nil
 	}
 	sp.Attr("via", "none")
@@ -472,13 +477,16 @@ func (a *Auto) tryEstimateGuess(workers int) *coreset.Coreset {
 		return nil
 	}
 	mGuessAttempts.Inc()
+	markGuess(a.guesses[best], "attempt")
 	cs, err := a.streams[best].resultWith(workers)
 	if err != nil {
 		mGuessFails.Inc()
+		markGuess(a.guesses[best], "fail")
 		return nil
 	}
 	if w := cs.TotalWeight(); math.Abs(w-float64(a.n)) > 0.3*float64(a.n)+1 {
 		mGuessRejects.Inc()
+		markGuess(a.guesses[best], "reject")
 		return nil
 	}
 	return cs

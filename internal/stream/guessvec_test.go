@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"strconv"
+	"testing"
+
+	"streambalance/internal/obs"
+)
+
+// TestGuessOutcomeVector: with telemetry on, one extraction records
+// exactly one "selected" outcome under the accepted guess's label, and
+// the per-guess attempt counts sum to the scalar aggregate's delta.
+func TestGuessOutcomeVector(t *testing.T) {
+	a := extractTestAuto(t, 57)
+	a.Apply(mixedOps(56, 1500))
+
+	obs.Enable()
+	defer obs.Disable()
+
+	att0 := mGuessAttempts.Load()
+	vatt0 := make([]int64, len(a.guesses))
+	vsel0 := make([]int64, len(a.guesses))
+	lbl := func(o float64) string { return strconv.FormatFloat(o, 'g', -1, 64) }
+	for i, o := range a.guesses {
+		vatt0[i] = vGuessOutcome.With(lbl(o), "attempt").Load()
+		vsel0[i] = vGuessOutcome.With(lbl(o), "selected").Load()
+	}
+
+	cs, err := a.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sel := -1
+	for i, o := range a.guesses {
+		if o == cs.O {
+			sel = i
+		}
+	}
+	if sel < 0 {
+		t.Fatalf("accepted guess %v not among the enumerated guesses", cs.O)
+	}
+	if d := vGuessOutcome.With(lbl(cs.O), "selected").Load() - vsel0[sel]; d != 1 {
+		t.Fatalf("selected{guess=%s} advanced by %d, want 1", lbl(cs.O), d)
+	}
+
+	var vattSum int64
+	for i, o := range a.guesses {
+		vattSum += vGuessOutcome.With(lbl(o), "attempt").Load() - vatt0[i]
+	}
+	if scalar := mGuessAttempts.Load() - att0; vattSum != scalar {
+		t.Fatalf("per-guess attempts %d != scalar stream_guess_attempts_total delta %d", vattSum, scalar)
+	}
+	if vattSum < 1 {
+		t.Fatal("no attempt outcome recorded")
+	}
+
+	// Disabled: the vector must not intern or count.
+	obs.Disable()
+	before := vGuessOutcome.With(lbl(cs.O), "selected").Load()
+	if _, err := a.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if got := vGuessOutcome.With(lbl(cs.O), "selected").Load(); got != before {
+		t.Fatalf("selected outcome advanced while telemetry disabled: %d -> %d", before, got)
+	}
+}

@@ -44,15 +44,14 @@ import (
 // maps to a handful of cells. Tallies are accumulated locally per
 // applyLevels call and added once per substream — nothing per op.
 var (
+	vCoalesceIn  = obs.CV("stream_coalesce_ops_in_total", "substream")
+	vCoalesceOut = obs.CV("stream_coalesce_keys_out_total", "substream")
+
 	mCoalesceIn = [3]*obs.Counter{
-		obs.C(`stream_coalesce_ops_in_total{substream="h"}`),
-		obs.C(`stream_coalesce_ops_in_total{substream="hp"}`),
-		obs.C(`stream_coalesce_ops_in_total{substream="hat"}`),
+		vCoalesceIn.With("h"), vCoalesceIn.With("hp"), vCoalesceIn.With("hat"),
 	}
 	mCoalesceOut = [3]*obs.Counter{
-		obs.C(`stream_coalesce_keys_out_total{substream="h"}`),
-		obs.C(`stream_coalesce_keys_out_total{substream="hp"}`),
-		obs.C(`stream_coalesce_keys_out_total{substream="hat"}`),
+		vCoalesceOut.With("h"), vCoalesceOut.With("hp"), vCoalesceOut.With("hat"),
 	}
 )
 

@@ -55,6 +55,9 @@ var (
 	mShardMerges    = obs.C("stream_shard_merges_total")
 	mShardMergeNS   = obs.H("stream_shard_merge_ns")
 	mShardImbalance = obs.G("stream_shard_imbalance")
+
+	vShardOps   = obs.CV("stream_shard_ops_total", "shard")
+	vShardDepth = obs.GV("stream_shard_queue_depth", "shard")
 )
 
 // shardQueueDepth bounds each worker's batch queue. A full queue blocks
@@ -145,8 +148,8 @@ func (sh *Sharded) start(shards int) {
 			ch:    make(chan shardMsg, shardQueueDepth),
 			free:  make(chan []Op, shardQueueDepth+1),
 			forks: make([]*Stream, len(sh.ss)),
-			ops:   obs.C(`stream_shard_ops_total{shard="` + strconv.Itoa(w) + `"}`),
-			depth: obs.G(`stream_shard_queue_depth{shard="` + strconv.Itoa(w) + `"}`),
+			ops:   vShardOps.With(strconv.Itoa(w)),
+			depth: vShardDepth.With(strconv.Itoa(w)),
 		}
 		for i, s := range sh.ss {
 			iw.forks[i] = s.Fork()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"streambalance/internal/coreset"
 	"streambalance/internal/geo"
@@ -54,7 +55,21 @@ var (
 	mGuessFails    = obs.C("stream_guess_fail_total")
 	mGuessRejects  = obs.C("stream_guess_weight_reject_total")
 	mGuessSelected = obs.G("stream_guess_selected_o")
+
+	// Per-guess outcome breakdown of the selection scan. The scalar
+	// mGuess* counters above stay as cheap aggregates; this vector says
+	// which guesses the scan burned attempts on and why they lost.
+	vGuessOutcome = obs.CV("stream_guess_outcome_total", "guess", "outcome")
 )
+
+// markGuess records one selection-scan outcome for guess o. Label
+// interning is skipped entirely when telemetry is off.
+func markGuess(o float64, outcome string) {
+	if !obs.Enabled() {
+		return
+	}
+	vGuessOutcome.Inc(strconv.FormatFloat(o, 'g', -1, 64), outcome)
+}
 
 // Op is one dynamic stream update: an insertion, or a deletion of a point
 // previously inserted (the stream contract of Section 4.2).
